@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper (DESIGN.md
+section 3): it runs the corresponding experiment once (``pedantic`` with a
+single round — these are minutes-scale end-to-end reproductions, not
+micro-benchmarks), prints the same rows/series the paper reports, and
+asserts the qualitative result shape.
+
+Scale: ``REPRO_N_CLUSTERS`` (default 200) controls the dataset size; the
+paper uses 10,000 clusters.  EXPERIMENTS.md records paper-vs-measured
+numbers for the committed scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_N_CLUSTERS, get_context
+
+
+@pytest.fixture(scope="session")
+def n_clusters() -> int:
+    """Cluster count shared by every benchmark."""
+    return DEFAULT_N_CLUSTERS
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_context(n_clusters: int):
+    """Generate the dataset and fit the profile once for the whole session
+    so individual benchmarks measure their experiment, not dataset setup."""
+    return get_context(n_clusters)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

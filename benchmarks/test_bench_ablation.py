@@ -1,0 +1,23 @@
+"""E-X2 benchmark: ablation of the simulator's design choices (DESIGN.md
+section 6), measured as the BMA convergence gap to real data."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_bench_ablation(benchmark, n_clusters):
+    result = run_once(benchmark, ablation.run, n_clusters=n_clusters)
+    variants = result["variants"]
+
+    # Each modelling stage shrinks the convergence gap; the full model
+    # ends clearly closer than the naive one.
+    assert variants["second_order"][1] < variants["naive"][1] * 0.8
+
+    # The skew stage is the single largest contributor.
+    assert variants["skew"][1] < variants["conditional"][1]
+
+    # Driving the full model with the real coverage distribution keeps the
+    # gap in the same band as constant coverage (coverage is controlled
+    # for separately in Table 2.2).
+    assert variants["second_order (custom coverage)"][1] < variants["naive"][1]

@@ -1,0 +1,22 @@
+"""E-C benchmark: regenerate the Appendix C post-reconstruction panel
+grid (every dataset stage x both algorithms x both curve types)."""
+
+from conftest import run_once
+
+from repro.experiments import appendix_c
+
+
+def test_bench_appendix_c(benchmark, n_clusters):
+    grid = run_once(benchmark, appendix_c.run, n_clusters=n_clusters)
+
+    # Full 5 x 2 grid of (Hamming, gestalt) curve pairs.
+    assert len(grid) == 5
+    for label, algorithms in grid.items():
+        assert set(algorithms) == {"BMA", "Iterative"}
+        for hamming_curve, gestalt_curve in algorithms.values():
+            assert sum(hamming_curve) >= sum(gestalt_curve)
+
+    # Real data leaves more residual error than the naive simulation.
+    real_mass = sum(grid["Real Nanopore"]["BMA"][0])
+    naive_mass = sum(grid["Naive Simulator"]["BMA"][0])
+    assert real_mass > naive_mass

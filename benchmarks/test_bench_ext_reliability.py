@@ -1,0 +1,21 @@
+"""E-X4 benchmark: end-to-end retrieval reliability per error regime."""
+
+from conftest import run_once
+
+from repro.experiments import ext_reliability
+
+
+def test_bench_ext_reliability(benchmark):
+    result = run_once(benchmark, ext_reliability.run)
+
+    minimum = result["minimum_coverage"]
+    # Clean, monotone crossover: easier channels need no more coverage
+    # than harsher ones, and both extremes behave as Table 1.1 predicts.
+    assert minimum["Illumina-grade"] is not None
+    assert minimum["Illumina-grade"] <= 4
+    if minimum["Nanopore-grade"] is not None:
+        assert minimum["Illumina-grade"] <= minimum["Nanopore-grade"]
+    grid = result["grid"]
+    # A coverage that satisfies Illumina-grade errors is not enough for
+    # beyond-Nanopore rates: the crossover the simulator exists to find.
+    assert grid["beyond-Nanopore"][minimum["Illumina-grade"]] is None

@@ -1,0 +1,22 @@
+"""E-X1 benchmark: the Section 4.3 extension — two-way Iterative
+reconstruction versus plain Iterative."""
+
+from conftest import run_once
+
+from repro.experiments import ext_two_way
+
+
+def test_bench_ext_two_way(benchmark, n_clusters):
+    results = run_once(benchmark, ext_two_way.run, n_clusters=n_clusters)
+
+    for dataset, cell in results.items():
+        one_way = cell["Iterative"]
+        two_way = cell["Two-way Iterative"]
+        # The proposal helps (or at worst matches) on both the real data
+        # and the end-skewed simulation.
+        assert two_way[0] >= one_way[0] - 2.0, dataset
+    # And it strictly helps somewhere.
+    assert any(
+        cell["Two-way Iterative"][0] > cell["Iterative"][0]
+        for cell in results.values()
+    )

@@ -1,0 +1,26 @@
+"""E-F3.10 benchmark: regenerate Fig. 3.10 (BMA on A-shaped vs V-shaped
+error distributions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_10
+
+
+def test_bench_fig_3_10(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_10.run, n_clusters=n_clusters)
+
+    # The headline: BMA is more accurate on A-shaped errors (mid-strand
+    # concentration) than on V-shaped (terminal concentration).
+    assert result["a_beats_v"]
+    a_per_char = result["accuracy"]["A-shaped"][1]
+    v_per_char = result["accuracy"]["V-shaped"][1]
+    assert a_per_char > v_per_char + 5
+
+    # Curve shapes: A-shaped reconstruction errors are symmetric and
+    # mid-heavy; V-shaped errors hit the terminal thirds hard.
+    length = 110
+    third = length // 3
+    a_hamming = result["curves"]["A-shaped"][0][:length]
+    v_hamming = result["curves"]["V-shaped"][0][:length]
+    assert sum(a_hamming[third : 2 * third]) > sum(a_hamming[:third])
+    assert sum(v_hamming[:third]) > sum(a_hamming[:third])

@@ -1,0 +1,28 @@
+"""E-F3.2 benchmark: regenerate Fig. 3.2 (pre-reconstruction noise
+analysis of the Nanopore dataset)."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_2
+
+
+def test_bench_fig_3_2(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_2.run, n_clusters=n_clusters)
+
+    hamming = result["hamming_curve"]
+    gestalt = result["gestalt_curve"]
+
+    # (a) Hamming: linear rise to the design length (error propagation),
+    # then a sharp drop — few copies exceed 110 bases.
+    length = 110
+    first_third = sum(hamming[: length // 3])
+    last_third = sum(hamming[2 * length // 3 : length])
+    assert last_third > 2 * first_third
+    if len(hamming) > length:
+        assert max(hamming[length:], default=0) < hamming[length - 1] / 2
+
+    # (b) Gestalt: terminal skew with the end ~2x the start (paper text).
+    assert 1.3 < result["gestalt_end_to_start_ratio"] < 3.5
+
+    # Gestalt flags only misalignment sources, so carries less mass.
+    assert sum(gestalt) < sum(hamming)

@@ -1,0 +1,24 @@
+"""E-F3.3 benchmark: regenerate Fig. 3.3 (Iterative accuracy over
+coverages 1-10) and assert the steep-then-stable shape."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_3
+
+
+def test_bench_fig_3_3(benchmark, n_clusters):
+    series = run_once(benchmark, fig_3_3.run, n_clusters=n_clusters)
+
+    per_strand = {coverage: values[0] for coverage, values in series.items()}
+    per_char = {coverage: values[1] for coverage, values in series.items()}
+
+    # Rapid rise through coverages 4-6 (the paper's reference region).
+    assert per_strand[6] > per_strand[3] + 10
+
+    # Broad monotonicity: higher coverage never hurts much.
+    for coverage in range(2, 11):
+        assert per_strand[coverage] >= per_strand[coverage - 1] - 5
+
+    # Stabilisation beyond coverage 7.
+    assert abs(per_strand[10] - per_strand[8]) < 10
+    assert per_char[10] > per_char[2]

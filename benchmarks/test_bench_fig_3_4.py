@@ -1,0 +1,20 @@
+"""E-F3.4 benchmark: regenerate Fig. 3.4 (post-reconstruction curves on
+Nanopore data at N = 5) plus the Appendix C.1 variant at N = 6."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_4
+
+
+def test_bench_fig_3_4(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_4.run, n_clusters=n_clusters)
+    # The Iterative Hamming curve is linear/rising: one-directional error
+    # propagation (Fig. 3.4a).
+    assert result["iterative_rising"]
+
+
+def test_bench_fig_3_4_appendix_c1(benchmark, n_clusters):
+    result = run_once(
+        benchmark, fig_3_4.run, n_clusters=n_clusters, coverage=6
+    )
+    assert result["iterative_rising"]

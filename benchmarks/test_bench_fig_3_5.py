@@ -1,0 +1,33 @@
+"""E-F3.5 benchmark: regenerate Fig. 3.5 (post-reconstruction curves on
+skew-stage simulated data) plus the Appendix C.2 variant at N = 6."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_5
+
+
+def test_bench_fig_3_5(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_5.run, n_clusters=n_clusters)
+    # BMA's Hamming curve loses its symmetry under end-skewed errors: the
+    # latter half carries more mass (Section 3.3.2's observation).
+    assert result["bma_latter_half_heavier"]
+
+
+def test_bench_fig_3_5_appendix_c2(benchmark, n_clusters):
+    result = run_once(
+        benchmark, fig_3_5.run, n_clusters=n_clusters, coverage=6
+    )
+    assert result["bma_latter_half_heavier"]
+
+
+def test_bench_fig_3_5_appendix_c3(benchmark, n_clusters):
+    """Appendix C.3: the same analysis on second-order-stage data."""
+    from repro.core.profile import SimulatorStage
+
+    result = run_once(
+        benchmark,
+        fig_3_5.run,
+        n_clusters=n_clusters,
+        stage=SimulatorStage.SECOND_ORDER,
+    )
+    assert result["bma_latter_half_heavier"]

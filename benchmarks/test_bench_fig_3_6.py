@@ -1,0 +1,26 @@
+"""E-F3.6 benchmark: regenerate Fig. 3.6 (second-order error analysis)."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_6
+
+
+def test_bench_fig_3_6(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_6.run, n_clusters=n_clusters)
+
+    # The top-10 second-order errors dominate (paper: 56% of all errors;
+    # exact share depends on the channel's substitution concentration).
+    assert result["top10_fraction"] > 0.45
+
+    # All of the top errors are single-base events.
+    assert len(result["top_errors"]) == 10
+    for entry in result["top_errors"]:
+        assert entry["count"] > 0
+
+    # At least one common second-order error is itself terminally skewed
+    # (Fig. 3.6's key observation).
+    def end_heavy(histogram):
+        third = len(histogram) // 3
+        return sum(histogram[-third:]) > 1.5 * sum(histogram[third : 2 * third])
+
+    assert any(end_heavy(entry["positions"]) for entry in result["top_errors"])

@@ -1,0 +1,17 @@
+"""E-F3.8 benchmark: regenerate Fig. 3.8 (BMA gestalt curves vs coverage
+at p-bar = 0.15)."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_8
+
+
+def test_bench_fig_3_8(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_8.run, n_clusters=n_clusters)
+
+    middle_share = result["middle_share"]
+    # The gestalt comparison skews toward the middle at higher coverages:
+    # terminal errors become negligible with more voters (Section 3.4.1).
+    assert middle_share[10] > middle_share[5]
+    # And the middle third dominates outright at N = 10.
+    assert middle_share[10] > 1 / 3

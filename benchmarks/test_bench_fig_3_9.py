@@ -1,0 +1,24 @@
+"""E-F3.9 benchmark: regenerate Fig. 3.9 (pre-reconstruction A-shaped and
+V-shaped spatial distributions at p-bar = 0.15)."""
+
+from conftest import run_once
+
+from repro.experiments import fig_3_9
+
+
+def test_bench_fig_3_9(benchmark, n_clusters):
+    result = run_once(benchmark, fig_3_9.run, n_clusters=n_clusters)
+
+    # Measured raw-copy error rates reproduce the intended shapes.
+    assert result["shape_checks"]["A-shaped"]
+    assert result["shape_checks"]["V-shaped"]
+
+    a_rates = result["measured_rates"]["A-shaped"]
+    v_rates = result["measured_rates"]["V-shaped"]
+    middle = len(a_rates) // 2
+    # A peaks mid-strand; V peaks at position 0.
+    assert a_rates[middle] > a_rates[0]
+    assert v_rates[0] > v_rates[middle]
+    # Both average to p-bar = 0.15 (same aggregate error).
+    assert abs(sum(a_rates) / len(a_rates) - 0.15) < 0.04
+    assert abs(sum(v_rates) / len(v_rates) - 0.15) < 0.04

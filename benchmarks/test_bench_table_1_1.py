@@ -1,0 +1,14 @@
+"""E-T1.1 benchmark: regenerate Table 1.1 (sequencing technologies)."""
+
+from conftest import run_once
+
+from repro.experiments import table_1_1
+
+
+def test_bench_table_1_1(benchmark):
+    rows = run_once(benchmark, table_1_1.run)
+    assert len(rows) == 3
+    # Trend the paper highlights: newer generations are cheaper but more
+    # error-prone (Sanger 0.001-0.01% -> Nanopore 10%).
+    assert rows[0]["error_rate"] == "0.001-0.01%"
+    assert rows[2]["error_rate"] == "10%"

@@ -1,0 +1,31 @@
+"""E-T2.1 benchmark: regenerate Table 2.1 (per-strand accuracy of TR
+algorithms on real vs simulated data, custom and fixed coverage)."""
+
+from conftest import run_once
+
+from repro.experiments import table_2_1
+
+
+def test_bench_table_2_1(benchmark, n_clusters):
+    results = run_once(benchmark, table_2_1.run, n_clusters=n_clusters)
+
+    real = results["Real Nanopore (custom)"]
+    naive = results["Naive Simulator (custom)"]
+    dnasim_custom = results["DNASimulator (custom)"]
+    dnasim_fixed = results["DNASimulator (26)"]
+
+    # Paper shape 1: simulated per-strand accuracy is consistently
+    # *greater* than real for BMA and Iterative.
+    for simulated in (naive, dnasim_custom, dnasim_fixed):
+        assert simulated["BMA"] > real["BMA"]
+        assert simulated["Iterative"] > real["Iterative"]
+
+    # Paper shape 2: DNASimulator performs roughly the same as the naive
+    # simulator (static profiling adds nothing).
+    assert abs(dnasim_custom["BMA"] - naive["BMA"]) < 20.0
+    assert abs(dnasim_custom["Iterative"] - naive["Iterative"]) < 20.0
+
+    # Paper shape 3: Divider BMA's per-strand accuracy is very poor on
+    # every dataset (Table 2.1 reports 0.07-3.33%).
+    for row in results.values():
+        assert row["DivBMA"] < row["BMA"]

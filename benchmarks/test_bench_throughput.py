@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the hot paths (proper repeated-timing benches).
+
+Unlike the table/figure benches these measure throughput of the library's
+kernels: channel transmission, maximum-likelihood alignment, gestalt
+matching, and each reconstruction algorithm on a fixed cluster.
+"""
+
+import random
+
+import pytest
+
+from repro.align.gestalt import matching_blocks
+from repro.align.operations import edit_operations
+from repro.core.channel import Channel
+from repro.core.errors import ErrorModel
+from repro.data.nanopore import ground_truth_model
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.two_way import TwoWayIterative
+
+STRAND_LENGTH = 110
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = random.Random(0)
+    return "".join(rng.choice("ACGT") for _ in range(STRAND_LENGTH))
+
+
+@pytest.fixture(scope="module")
+def cluster(reference):
+    channel = Channel(ground_truth_model(), random.Random(1))
+    return channel.transmit_many(reference, 6)
+
+
+def test_bench_channel_transmit(benchmark, reference):
+    channel = Channel(ErrorModel.naive(0.01, 0.02, 0.03), random.Random(2))
+    benchmark(channel.transmit, reference)
+
+
+def test_bench_ground_truth_transmit(benchmark, reference):
+    channel = Channel(ground_truth_model(), random.Random(2))
+    benchmark(channel.transmit, reference)
+
+
+def test_bench_edit_operations(benchmark, reference, cluster):
+    benchmark(edit_operations, reference, cluster[0])
+
+
+def test_bench_gestalt_blocks(benchmark, reference, cluster):
+    benchmark(matching_blocks, reference, cluster[0])
+
+
+@pytest.mark.parametrize(
+    "reconstructor",
+    [BMALookahead(), DividerBMA(), IterativeReconstruction(), TwoWayIterative()],
+    ids=lambda r: r.name,
+)
+def test_bench_reconstructors(benchmark, reconstructor, cluster):
+    benchmark(reconstructor.reconstruct, cluster, STRAND_LENGTH)

@@ -1,0 +1,68 @@
+"""Imperfect clustering: from an unordered read-out to reconstruction.
+
+Section 3.1 distinguishes *pseudo-clustering* (the simulator's ordered
+output is taken as clustered) from the realistic path where a sequencer
+emits an unordered pile of reads that must be clustered by similarity
+before reconstruction.  This example runs both paths on the same data and
+quantifies what imperfect clustering costs.
+
+Run:  python examples/clustering_pipeline.py
+"""
+
+import random
+import time
+
+from repro.cluster.greedy import GreedyClusterer
+from repro.cluster.pseudo import (
+    clustering_accuracy,
+    flatten_with_labels,
+    rebuild_pool,
+    shuffle_reads,
+)
+from repro.data.nanopore import make_nanopore_dataset
+from repro.metrics.accuracy import evaluate_reconstruction
+from repro.reconstruct.iterative import IterativeReconstruction
+
+N_CLUSTERS = 120
+COVERAGE = 8
+
+
+def main() -> None:
+    print("generating a wetlab dataset ...")
+    pool = make_nanopore_dataset(
+        n_clusters=N_CLUSTERS, seed=31, constant_coverage=COVERAGE
+    )
+
+    print("shuffling reads into an unordered read-out ...")
+    reads = shuffle_reads(flatten_with_labels(pool), random.Random(17))
+    sequences = [read.sequence for read in reads]
+
+    print(f"clustering {len(sequences)} reads greedily ...")
+    started = time.perf_counter()
+    result = GreedyClusterer().cluster(sequences)
+    elapsed = time.perf_counter() - started
+    purity = clustering_accuracy(result.assignments, reads)
+    print(
+        f"  {result.n_clusters} clusters (truth: {N_CLUSTERS}), "
+        f"purity {purity * 100:.2f}%, "
+        f"{result.comparisons} exact comparisons in {elapsed:.2f}s "
+        f"(vs {len(sequences) * (len(sequences) - 1) // 2} all-pairs)"
+    )
+
+    print("reconstructing both ways ...")
+    reconstructor = IterativeReconstruction()
+    pseudo = evaluate_reconstruction(pool, reconstructor)
+    clustered_pool = rebuild_pool(result.assignments, reads, pool)
+    imperfect = evaluate_reconstruction(clustered_pool, reconstructor)
+
+    print(f"  pseudo-clustered (oracle): {pseudo}")
+    print(f"  greedy-clustered:          {imperfect}")
+    print(
+        "\nExpected: greedy clustering costs little accuracy at this error "
+        "rate — which is why the paper evaluates simulators under "
+        "pseudo-clustering, isolating reconstruction effects."
+    )
+
+
+if __name__ == "__main__":
+    main()

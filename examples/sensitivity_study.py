@@ -1,0 +1,75 @@
+"""Sensitivity study: how reconstruction responds to the channel's knobs.
+
+Reproduces the workload of Section 3.4 interactively: a grid sweep over
+aggregate error rates and coverages (uniform spatial distribution), then
+the A-shaped / V-shaped spatial comparison — the experiment that exposes
+how differently BMA and Iterative respond to *where* errors fall.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from repro.analysis.sensitivity import sweep_error_and_coverage, sweep_spatial
+from repro.core.spatial import AShapedSpatial, UniformSpatial, VShapedSpatial
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.iterative import IterativeReconstruction
+
+ERROR_RATES = (0.03, 0.06, 0.09, 0.12, 0.15)
+COVERAGES = (5, 6, 10)
+N_STRANDS = 150
+
+
+def main() -> None:
+    algorithms = [BMALookahead(), IterativeReconstruction()]
+
+    print("== error-rate x coverage sweep (uniform spatial distribution) ==")
+    points = sweep_error_and_coverage(
+        algorithms,
+        error_rates=ERROR_RATES,
+        coverages=COVERAGES,
+        n_strands=N_STRANDS,
+        seed=0,
+    )
+    for algorithm in algorithms:
+        print(f"\n{algorithm.name}: per-strand accuracy (%)")
+        header = "p-bar   " + "  ".join(f"N={coverage:<3d}" for coverage in COVERAGES)
+        print(header)
+        for error_rate in ERROR_RATES:
+            cells = [
+                next(
+                    point.report.per_strand
+                    for point in points
+                    if point.error_rate == error_rate
+                    and point.coverage == coverage
+                    and point.algorithm == algorithm.name
+                )
+                for coverage in COVERAGES
+            ]
+            print(
+                f"{error_rate:<7.2f} "
+                + "  ".join(f"{cell:5.1f}" for cell in cells)
+            )
+
+    print("\n== spatial-shape comparison at p-bar = 0.15, N = 5 ==")
+    spatials = {
+        "uniform": UniformSpatial(),
+        "A-shaped": AShapedSpatial(),
+        "V-shaped": VShapedSpatial(),
+    }
+    points, _curves = sweep_spatial(
+        algorithms, spatials, n_strands=N_STRANDS, seed=0, with_curves=False
+    )
+    print(f"{'shape':10s} {'algorithm':12s} per-strand  per-char")
+    for point in points:
+        print(
+            f"{point.spatial:10s} {point.algorithm:12s} "
+            f"{point.report.per_strand:9.2f}%  "
+            f"{point.report.per_character:7.2f}%"
+        )
+    print(
+        "\nExpected: accuracy falls with error rate, rises with coverage; "
+        "BMA prefers A-shaped (mid-strand) over V-shaped (terminal) errors."
+    )
+
+
+if __name__ == "__main__":
+    main()

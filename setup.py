@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+All project metadata lives in pyproject.toml; this file only exists so
+environments with an older setuptools/pip (no PEP 660 editable support)
+can fall back to `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""Levenshtein edit distance over DNA strands.
+
+Edit distance underpins three subsystems: clustering (reads are grouped by
+edit-distance similarity, Section 1.1.2), reconstruction-quality metrics
+(normalised edit distance, Section 3.1), and the maximum-likelihood
+extraction of error sequences from reference/copy pairs (Appendix B,
+implemented in :mod:`repro.align.operations`).
+
+The implementation is a standard dynamic program, written iteratively with
+two rolling rows for the distance-only path and a full matrix when a
+backtrace is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def edit_distance(first: str, second: str) -> int:
+    """Levenshtein distance between two strings (unit costs).
+
+    Runs in O(len(first) * len(second)) time and O(min(len)) space.
+    """
+    if first == second:
+        return 0
+    # Keep the shorter string as the row to minimise memory.
+    if len(second) < len(first):
+        first, second = second, first
+    previous = list(range(len(first) + 1))
+    for row_index, second_char in enumerate(second, start=1):
+        current = [row_index] + [0] * len(first)
+        for column_index, first_char in enumerate(first, start=1):
+            substitution_cost = 0 if first_char == second_char else 1
+            current[column_index] = min(
+                previous[column_index] + 1,  # deletion from `second`
+                current[column_index - 1] + 1,  # insertion into `second`
+                previous[column_index - 1] + substitution_cost,
+            )
+        previous = current
+    return previous[len(first)]
+
+
+def edit_distance_banded(first: str, second: str, band: int) -> int:
+    """Edit distance restricted to a diagonal band of half-width ``band``.
+
+    If the true distance exceeds ``band`` the result is a lower bound of
+    ``band + 1`` ("at least this far apart"), which is all clustering needs
+    to reject a pair quickly.  Runs in O(band * max(len)) time.
+    """
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    if abs(len(first) - len(second)) > band:
+        return band + 1
+    infinity = band + 1
+    columns = len(first) + 1
+    previous = [infinity] * columns
+    for column in range(min(band, len(first)) + 1):
+        previous[column] = column
+    for row_index in range(1, len(second) + 1):
+        current = [infinity] * columns
+        low = max(0, row_index - band)
+        high = min(len(first), row_index + band)
+        if low == 0:
+            current[0] = row_index if row_index <= band else infinity
+        for column in range(max(1, low), high + 1):
+            substitution_cost = 0 if first[column - 1] == second[row_index - 1] else 1
+            best = previous[column - 1] + substitution_cost
+            if previous[column] + 1 < best:
+                best = previous[column] + 1
+            if current[column - 1] + 1 < best:
+                best = current[column - 1] + 1
+            current[column] = min(best, infinity)
+        previous = current
+    return min(previous[len(first)], infinity)
+
+
+def normalized_edit_distance(first: str, second: str) -> float:
+    """Edit distance divided by the longer string's length (0.0 for two
+    empty strings).
+
+    One of the candidate simulator-evaluation metrics of Section 3.1.
+    """
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 0.0
+    return edit_distance(first, second) / longest
+
+
+def edit_distance_matrix(first: str, second: str) -> list[list[int]]:
+    """Full (len(first)+1) x (len(second)+1) DP matrix.
+
+    ``matrix[i][j]`` is the distance between ``first[:i]`` and
+    ``second[:j]``.  Used by the backtrace in
+    :mod:`repro.align.operations`.  Large inputs are routed to the
+    vectorised :func:`edit_distance_matrix_fast`; either way the result is
+    indexable as ``matrix[i][j]``.
+    """
+    if len(first) * len(second) > 1024:
+        return edit_distance_matrix_fast(first, second)
+    rows, columns = len(first) + 1, len(second) + 1
+    matrix = [[0] * columns for _ in range(rows)]
+    for row in range(rows):
+        matrix[row][0] = row
+    for column in range(columns):
+        matrix[0][column] = column
+    for row in range(1, rows):
+        first_char = first[row - 1]
+        matrix_row = matrix[row]
+        matrix_above = matrix[row - 1]
+        for column in range(1, columns):
+            substitution_cost = 0 if first_char == second[column - 1] else 1
+            matrix_row[column] = min(
+                matrix_above[column] + 1,
+                matrix_row[column - 1] + 1,
+                matrix_above[column - 1] + substitution_cost,
+            )
+    return matrix
+
+
+def edit_distance_matrix_fast(first: str, second: str) -> np.ndarray:
+    """Vectorised DP matrix, row by row with numpy.
+
+    The only wrinkle is the left-to-right dependency of insertions within
+    a row; it is resolved in closed form:
+    ``min_k (row[k] + (j - k)) = j + cummin(row[k] - k)``, a single
+    ``np.minimum.accumulate`` per row.  This makes bulk alignment (the
+    profiler aligns every noisy copy against its reference) roughly an
+    order of magnitude faster than the pure-Python matrix.
+    """
+    rows, columns = len(first) + 1, len(second) + 1
+    second_codes = np.frombuffer(second.encode("ascii"), dtype=np.uint8)
+    matrix = np.empty((rows, columns), dtype=np.int32)
+    matrix[0] = np.arange(columns, dtype=np.int32)
+    column_index = np.arange(columns, dtype=np.int32)
+    for row in range(1, rows):
+        above = matrix[row - 1]
+        current = np.empty(columns, dtype=np.int32)
+        current[0] = row
+        substitution_cost = (second_codes != ord(first[row - 1])).astype(np.int32)
+        # Candidates ignoring the intra-row insertion dependency.
+        current[1:] = np.minimum(above[1:] + 1, above[:-1] + substitution_cost)
+        # Resolve insertions: current[j] = min over k <= j of current[k] + (j - k).
+        current = np.minimum.accumulate(current - column_index) + column_index
+        matrix[row] = current
+    return matrix

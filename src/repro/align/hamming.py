@@ -1,0 +1,54 @@
+"""Hamming-style positional comparison of strands of unequal length.
+
+The paper's "Hamming comparison" (Section 3.2) flags **every presence of an
+error within a strand**: position ``i`` of the reference is an error if the
+copy is too short to have a base there or if the bases differ.  Because a
+single insertion or deletion shifts every later base, one indel early in a
+strand produces a run of Hamming errors to the end — which is exactly why
+the paper pairs this view with the gestalt-aligned view (sources of
+misalignment) and why post-reconstruction Hamming curves are linear for the
+Iterative algorithm and A-shaped for two-way BMA.
+"""
+
+from __future__ import annotations
+
+
+def hamming_distance(first: str, second: str) -> int:
+    """Number of differing positions, counting the length difference.
+
+    Equivalent to comparing position-by-position and charging one error
+    per position present in only one string.
+    """
+    shared = min(len(first), len(second))
+    mismatches = sum(
+        1 for index in range(shared) if first[index] != second[index]
+    )
+    return mismatches + abs(len(first) - len(second))
+
+
+def normalized_hamming_distance(first: str, second: str) -> float:
+    """Hamming distance divided by the longer length (0.0 for two empties)."""
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 0.0
+    return hamming_distance(first, second) / longest
+
+
+def hamming_error_positions(reference: str, other: str) -> list[int]:
+    """Positions that count as Hamming errors against ``reference``.
+
+    Follows the paper's worked example (reference ``AGTC``, copy ``ATC``
+    has Hamming errors at positions 1, 2, 3): a position is an error if
+    the bases differ, if the copy ends before it, or if the copy extends
+    beyond the reference (those tail positions all count).  Positions run
+    over ``max(len(reference), len(other))`` so histograms show the
+    characteristic drop after the reference length (Fig. 3.2a).
+    """
+    errors: list[int] = []
+    span = max(len(reference), len(other))
+    for position in range(span):
+        if position >= len(reference) or position >= len(other):
+            errors.append(position)
+        elif reference[position] != other[position]:
+            errors.append(position)
+    return errors

@@ -1,0 +1,55 @@
+"""Measurement and sweep machinery: error-statistics tallying and the
+sensitivity-analysis harness (Sections 2.3, 3.4).
+
+``sensitivity`` members are loaded lazily (PEP 562): that module imports
+the simulator, which itself depends on :mod:`repro.analysis.error_stats`,
+and an eager import here would close an import cycle.
+"""
+
+from repro.analysis.compare import (
+    ProfileComparison,
+    compare_pools,
+    compare_statistics,
+)
+from repro.analysis.coverage_fit import (
+    coverage_fit_report,
+    estimate_erasure_rate,
+    fit_coverage_model,
+    fit_negative_binomial,
+)
+from repro.analysis.error_stats import ErrorStatistics, SecondOrderKey
+
+__all__ = [
+    "CurvePoint",
+    "ErrorStatistics",
+    "ProfileComparison",
+    "SecondOrderKey",
+    "SweepPoint",
+    "compare_pools",
+    "compare_statistics",
+    "coverage_fit_report",
+    "estimate_erasure_rate",
+    "fit_coverage_model",
+    "fit_negative_binomial",
+    "make_references",
+    "simulate_uniform",
+    "sweep_error_and_coverage",
+    "sweep_spatial",
+]
+
+_SENSITIVITY_EXPORTS = {
+    "CurvePoint",
+    "SweepPoint",
+    "make_references",
+    "simulate_uniform",
+    "sweep_error_and_coverage",
+    "sweep_spatial",
+}
+
+
+def __getattr__(name: str):
+    if name in _SENSITIVITY_EXPORTS:
+        from repro.analysis import sensitivity
+
+        return getattr(sensitivity, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

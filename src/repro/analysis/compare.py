@@ -1,0 +1,148 @@
+"""Structured comparison of two datasets' error profiles.
+
+The paper's chapter-3 methodology is, at heart, "how far is simulated
+data from real data?"  This module packages that question as a single
+call: :func:`compare_pools` measures both datasets and reports every
+distance the paper discusses (Section 3.1's candidate metrics) in one
+:class:`ProfileComparison` — rate deltas, substitution-matrix divergence,
+positional-profile chi-square, long-deletion statistics, and mean
+edit/gestalt similarity — so simulator-fidelity regressions can be
+asserted numerically instead of eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.alphabet import BASES
+from repro.core.strand import StrandPool
+from repro.metrics.distance import chi_square_distance, positional_profile_distance
+
+
+@dataclass(frozen=True)
+class ProfileComparison:
+    """All fidelity metrics between a candidate pool and a reference pool.
+
+    Attributes:
+        aggregate_rate_delta: |candidate - reference| aggregate error rate.
+        rate_deltas: per-error-type absolute rate differences.
+        substitution_matrix_distance: mean chi-square distance between the
+            four per-base replacement distributions.
+        positional_distance: chi-square distance between positional error
+            profiles (the spatial-skew fidelity, Section 3.3.2).
+        long_deletion_rate_delta: |difference| of long-deletion start rates.
+        long_deletion_length_delta: |difference| of mean run lengths.
+        second_order_overlap: fraction of the reference's top-10
+            second-order errors also in the candidate's top-10.
+    """
+
+    aggregate_rate_delta: float
+    rate_deltas: dict[str, float]
+    substitution_matrix_distance: float
+    positional_distance: float
+    long_deletion_rate_delta: float
+    long_deletion_length_delta: float
+    second_order_overlap: float
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"aggregate error-rate delta: {self.aggregate_rate_delta * 100:.3f} pp",
+            "per-type rate deltas: "
+            + ", ".join(
+                f"{kind} {delta * 100:.3f} pp"
+                for kind, delta in self.rate_deltas.items()
+            ),
+            f"substitution-matrix chi-square: {self.substitution_matrix_distance:.4f}",
+            f"positional-profile chi-square: {self.positional_distance:.4f}",
+            f"long-deletion rate delta: {self.long_deletion_rate_delta * 100:.4f} pp",
+            f"long-deletion mean-length delta: {self.long_deletion_length_delta:.3f}",
+            f"top-10 second-order overlap: {self.second_order_overlap * 100:.0f}%",
+        ]
+        return "\n".join(lines)
+
+
+def _matrix_distance(
+    first: ErrorStatistics, second: ErrorStatistics
+) -> float:
+    distances = []
+    first_matrix = first.substitution_matrix()
+    second_matrix = second.substitution_matrix()
+    for base in BASES:
+        replacements = sorted(first_matrix[base])
+        first_row = [first_matrix[base][r] for r in replacements]
+        second_row = [second_matrix[base][r] for r in replacements]
+        if sum(first_row) > 0 and sum(second_row) > 0:
+            distances.append(chi_square_distance(first_row, second_row))
+    return sum(distances) / len(distances) if distances else 0.0
+
+
+def compare_statistics(
+    candidate: ErrorStatistics, reference: ErrorStatistics
+) -> ProfileComparison:
+    """Compare two already-measured statistics objects."""
+    candidate_rates = candidate.aggregate_rates()
+    reference_rates = reference.aggregate_rates()
+    rate_deltas = {
+        kind: abs(candidate_rates[kind] - reference_rates[kind])
+        for kind in reference_rates
+    }
+
+    candidate_positions = candidate.positional_error_rates()
+    reference_positions = reference.positional_error_rates()
+    if sum(candidate_positions) > 0 and sum(reference_positions) > 0:
+        positional = positional_profile_distance(
+            candidate_positions, reference_positions
+        )
+    else:
+        positional = 0.0
+
+    reference_top = {
+        key for key, _count in reference.top_second_order_errors(10)
+    }
+    candidate_top = {
+        key for key, _count in candidate.top_second_order_errors(10)
+    }
+    overlap = (
+        len(reference_top & candidate_top) / len(reference_top)
+        if reference_top
+        else 1.0
+    )
+
+    return ProfileComparison(
+        aggregate_rate_delta=abs(
+            candidate.aggregate_error_rate() - reference.aggregate_error_rate()
+        ),
+        rate_deltas=rate_deltas,
+        substitution_matrix_distance=_matrix_distance(candidate, reference),
+        positional_distance=positional,
+        long_deletion_rate_delta=abs(
+            candidate.long_deletion_rate() - reference.long_deletion_rate()
+        ),
+        long_deletion_length_delta=abs(
+            candidate.mean_long_deletion_length()
+            - reference.mean_long_deletion_length()
+        ),
+        second_order_overlap=overlap,
+    )
+
+
+def compare_pools(
+    candidate: StrandPool,
+    reference: StrandPool,
+    max_copies_per_cluster: int | None = 4,
+) -> ProfileComparison:
+    """Measure and compare two pseudo-clustered pools.
+
+    Args:
+        candidate: typically simulator output.
+        reference: typically (synthetic-)wetlab data.
+        max_copies_per_cluster: profiling cap (see
+            :meth:`ErrorStatistics.tally_pool`).
+    """
+    candidate_statistics = ErrorStatistics()
+    candidate_statistics.tally_pool(candidate, max_copies_per_cluster)
+    reference_statistics = ErrorStatistics()
+    reference_statistics.tally_pool(reference, max_copies_per_cluster)
+    return compare_statistics(candidate_statistics, reference_statistics)

@@ -1,0 +1,315 @@
+"""Tallying channel-error statistics from reference/copy pairs.
+
+This is the measurement half of the paper's data-driven approach
+(Section 2.3): given clusters of noisy copies, extract the maximum-
+likelihood edit operations (Algorithm 2) for every copy and tally
+
+* per-base conditional error counts — P(ins|A), P(subs|G), ... (§3.3.1);
+* the conditional substitution matrix P(replacement | original);
+* the inserted-base distribution;
+* long-deletion events (runs of >= 2 consecutive deletions) and their
+  length distribution (§3.3.1: p_ld = 0.33%, mean length 2.17);
+* the aggregate spatial histogram of error positions (§3.3.2);
+* per-second-order-error counts and positional histograms (§3.3.3).
+
+The resulting :class:`ErrorStatistics` is pure measurement; converting it
+into simulator parameters is the job of :mod:`repro.core.profile`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.align.operations import OpKind, deletion_runs, edit_operations
+from repro.core.alphabet import BASES
+from repro.core.strand import StrandPool
+
+#: Second-order error identity: (kind, reference base, replacement base).
+SecondOrderKey = tuple[str, str, str]
+
+
+@dataclass
+class ErrorStatistics:
+    """Raw error tallies over a set of reference/copy transmissions.
+
+    Attributes:
+        strand_length: reference strand length the positional histograms
+            are indexed by (set on first tally; references of other
+            lengths are clamped into range).
+        pair_count: number of (reference, copy) pairs tallied.
+        base_opportunities: occurrences of each base across all tallied
+            references (the denominator of conditional rates).
+        position_opportunities: transmissions covering each position.
+        insertion_counts / deletion_counts / substitution_counts:
+            single-base error counts keyed by the reference base at the
+            error position (insertions are attributed to the base they
+            follow).
+        substitution_pairs: counts of (original, replacement) pairs.
+        inserted_bases: counts of which base was inserted.
+        long_deletion_count / long_deletion_lengths: long-deletion events
+            and their run-length counts.
+        error_positions: aggregate positional histogram of all errors.
+        second_order_counts / second_order_positions: per-specific-error
+            counts and positional histograms (single-base errors only;
+            the paper's top-10 are all single-base, Section 3.3.3).
+    """
+
+    strand_length: int = 0
+    pair_count: int = 0
+    base_opportunities: Counter = field(default_factory=Counter)
+    position_opportunities: list[int] = field(default_factory=list)
+    insertion_counts: Counter = field(default_factory=Counter)
+    deletion_counts: Counter = field(default_factory=Counter)
+    substitution_counts: Counter = field(default_factory=Counter)
+    substitution_pairs: Counter = field(default_factory=Counter)
+    inserted_bases: Counter = field(default_factory=Counter)
+    long_deletion_count: int = 0
+    long_deletion_lengths: Counter = field(default_factory=Counter)
+    error_positions: list[int] = field(default_factory=list)
+    second_order_counts: Counter = field(default_factory=Counter)
+    second_order_positions: dict[SecondOrderKey, list[int]] = field(
+        default_factory=dict
+    )
+
+    # ---------------------------------------------------------------- #
+    # Tallying
+    # ---------------------------------------------------------------- #
+
+    def _ensure_length(self, length: int) -> None:
+        if length > self.strand_length:
+            grow = length - self.strand_length
+            self.position_opportunities.extend([0] * grow)
+            self.error_positions.extend([0] * grow)
+            for histogram in self.second_order_positions.values():
+                histogram.extend([0] * grow)
+            self.strand_length = length
+
+    def _clamp(self, position: int) -> int:
+        return min(max(position, 0), self.strand_length - 1)
+
+    def tally_pair(
+        self, reference: str, copy: str, rng: random.Random | None = None
+    ) -> None:
+        """Tally one transmission: align ``copy`` to ``reference`` and count
+        every error operation."""
+        self._ensure_length(len(reference))
+        self.pair_count += 1
+        for base in reference:
+            self.base_opportunities[base] += 1
+        for position in range(len(reference)):
+            self.position_opportunities[position] += 1
+
+        operations = edit_operations(reference, copy, rng)
+        error_operations = [
+            operation for operation in operations if operation.is_error
+        ]
+
+        # Long deletions: attribute whole runs to the long-deletion
+        # process; everything inside them is excluded from single-base
+        # tallies so the two processes never double-count.
+        runs = deletion_runs(error_operations)
+        long_run_positions: set[int] = set()
+        for start, run_length in runs:
+            if run_length >= 2:
+                self.long_deletion_count += 1
+                self.long_deletion_lengths[run_length] += 1
+                self.error_positions[self._clamp(start)] += 1
+                long_run_positions.update(range(start, start + run_length))
+
+        for operation in error_operations:
+            position = self._clamp(operation.reference_position)
+            if operation.kind is OpKind.DELETION:
+                if operation.reference_position in long_run_positions:
+                    continue
+                self.deletion_counts[operation.reference_base] += 1
+                key: SecondOrderKey = ("deletion", operation.reference_base, "")
+            elif operation.kind is OpKind.SUBSTITUTION:
+                self.substitution_counts[operation.reference_base] += 1
+                self.substitution_pairs[
+                    (operation.reference_base, operation.copy_base)
+                ] += 1
+                key = (
+                    "substitution",
+                    operation.reference_base,
+                    operation.copy_base,
+                )
+            else:  # insertion, attributed to the base it follows
+                attributed = self._clamp(operation.reference_position - 1)
+                attributed_base = (
+                    reference[attributed] if reference else ""
+                )
+                self.insertion_counts[attributed_base] += 1
+                self.inserted_bases[operation.copy_base] += 1
+                key = ("insertion", "", operation.copy_base)
+                position = attributed
+            self.error_positions[position] += 1
+            self.second_order_counts[key] += 1
+            histogram = self.second_order_positions.get(key)
+            if histogram is None:
+                histogram = [0] * self.strand_length
+                self.second_order_positions[key] = histogram
+            histogram[position] += 1
+
+    def tally_pool(
+        self,
+        pool: StrandPool,
+        max_copies_per_cluster: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Tally every (reference, copy) pair in a pool.
+
+        Args:
+            pool: pseudo-clustered pool (each copy is paired with its own
+                reference).
+            max_copies_per_cluster: optional cap to bound profiling cost on
+                high-coverage datasets; statistics converge quickly.
+            rng: optional source of randomness for Algorithm 2's random
+                tie-breaking among optimal edit paths.
+        """
+        for cluster in pool:
+            copies = cluster.copies
+            if max_copies_per_cluster is not None:
+                copies = copies[:max_copies_per_cluster]
+            for copy in copies:
+                self.tally_pair(cluster.reference, copy, rng)
+
+    # ---------------------------------------------------------------- #
+    # Derived rates
+    # ---------------------------------------------------------------- #
+
+    def total_errors(self) -> int:
+        """Total error events (long deletions count once each)."""
+        return sum(self.error_positions)
+
+    def total_opportunities(self) -> int:
+        """Total base transmissions observed."""
+        return sum(self.base_opportunities.values())
+
+    def aggregate_rates(self) -> dict[str, float]:
+        """Aggregate per-position rates of each error type (naive model)."""
+        opportunities = self.total_opportunities()
+        if opportunities == 0:
+            return {"insertion": 0.0, "deletion": 0.0, "substitution": 0.0,
+                    "long_deletion": 0.0}
+        return {
+            "insertion": sum(self.insertion_counts.values()) / opportunities,
+            "deletion": sum(self.deletion_counts.values()) / opportunities,
+            "substitution": sum(self.substitution_counts.values()) / opportunities,
+            "long_deletion": self.long_deletion_count / opportunities,
+        }
+
+    def aggregate_error_rate(self) -> float:
+        """Total errors (long deletions weighted by length) per base sent."""
+        opportunities = self.total_opportunities()
+        if opportunities == 0:
+            return 0.0
+        deleted_in_runs = sum(
+            length * count for length, count in self.long_deletion_lengths.items()
+        )
+        single_errors = (
+            sum(self.insertion_counts.values())
+            + sum(self.deletion_counts.values())
+            + sum(self.substitution_counts.values())
+        )
+        return (single_errors + deleted_in_runs) / opportunities
+
+    def conditional_rate(self, kind: str, base: str) -> float:
+        """P(error of ``kind`` | base), e.g. ``conditional_rate('insertion', 'A')``."""
+        opportunities = self.base_opportunities[base]
+        if opportunities == 0:
+            return 0.0
+        counts = {
+            "insertion": self.insertion_counts,
+            "deletion": self.deletion_counts,
+            "substitution": self.substitution_counts,
+        }[kind]
+        return counts[base] / opportunities
+
+    def substitution_matrix(self) -> dict[str, dict[str, float]]:
+        """Measured P(replacement | original substituted); uniform rows for
+        bases never observed substituted."""
+        matrix: dict[str, dict[str, float]] = {}
+        for original in BASES:
+            row_counts = {
+                replacement: self.substitution_pairs[(original, replacement)]
+                for replacement in BASES
+                if replacement != original
+            }
+            total = sum(row_counts.values())
+            if total == 0:
+                matrix[original] = {
+                    replacement: 1.0 / 3.0 for replacement in row_counts
+                }
+            else:
+                matrix[original] = {
+                    replacement: count / total
+                    for replacement, count in row_counts.items()
+                }
+        return matrix
+
+    def inserted_base_distribution(self) -> dict[str, float]:
+        """Measured distribution of inserted bases (uniform if none seen)."""
+        total = sum(self.inserted_bases.values())
+        if total == 0:
+            return {base: 0.25 for base in BASES}
+        return {base: self.inserted_bases[base] / total for base in BASES}
+
+    def long_deletion_rate(self) -> float:
+        """Probability a long deletion starts at any given position."""
+        opportunities = self.total_opportunities()
+        if opportunities == 0:
+            return 0.0
+        return self.long_deletion_count / opportunities
+
+    def long_deletion_length_distribution(self) -> dict[int, float]:
+        """Normalised run-length distribution of long deletions."""
+        total = sum(self.long_deletion_lengths.values())
+        if total == 0:
+            return {}
+        return {
+            length: count / total
+            for length, count in sorted(self.long_deletion_lengths.items())
+        }
+
+    def mean_long_deletion_length(self) -> float:
+        """Mean long-deletion run length (0.0 if none observed)."""
+        total = sum(self.long_deletion_lengths.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(
+            length * count for length, count in self.long_deletion_lengths.items()
+        )
+        return weighted / total
+
+    def positional_error_rates(self) -> list[float]:
+        """Per-position error probability (the spatial profile, Fig. 3.2b)."""
+        rates = []
+        for errors, opportunities in zip(
+            self.error_positions, self.position_opportunities
+        ):
+            rates.append(errors / opportunities if opportunities else 0.0)
+        return rates
+
+    def top_second_order_errors(self, count: int = 10) -> list[tuple[SecondOrderKey, int]]:
+        """The ``count`` most common specific errors (Section 3.3.3's top-10)."""
+        return self.second_order_counts.most_common(count)
+
+    def second_order_fraction(self, count: int = 10) -> float:
+        """Fraction of all single-base errors covered by the top ``count``
+        second-order errors (the paper reports 56% for its top-10)."""
+        total = sum(self.second_order_counts.values())
+        if total == 0:
+            return 0.0
+        top = sum(value for _key, value in self.top_second_order_errors(count))
+        return top / total
+
+    def describe_second_order(self, key: SecondOrderKey) -> str:
+        """Human-readable label for a second-order key."""
+        kind, base, replacement = key
+        if kind == "deletion":
+            return f"del {base}"
+        if kind == "insertion":
+            return f"ins {replacement}"
+        return f"sub {base}->{replacement}"

@@ -1,0 +1,154 @@
+"""Sensitivity-analysis harness (Section 3.4).
+
+Sweeps reconstruction accuracy over the simulator's axes — aggregate
+error rate, coverage, and spatial distribution — and returns structured
+grids that the figure experiments print.  This is the machinery behind
+Figs. 3.7-3.10 and the repository's ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.alphabet import random_strand
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.simulator import Simulator
+from repro.core.spatial import SpatialDistribution
+from repro.core.strand import StrandPool
+from repro.metrics.accuracy import AccuracyReport, evaluate_reconstruction
+from repro.metrics.curves import post_reconstruction_curves
+from repro.reconstruct.base import Reconstructor
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sensitivity grid."""
+
+    error_rate: float
+    coverage: int
+    spatial: str
+    algorithm: str
+    report: AccuracyReport
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Post-reconstruction curves for one configuration."""
+
+    error_rate: float
+    coverage: int
+    spatial: str
+    algorithm: str
+    hamming_curve: list[int]
+    gestalt_curve: list[int]
+
+
+def make_references(
+    n_strands: int, strand_length: int, seed: int | None
+) -> list[str]:
+    """Random reference strands shared across a sweep (so cells differ
+    only in channel configuration)."""
+    rng = random.Random(seed)
+    return [random_strand(strand_length, rng) for _ in range(n_strands)]
+
+
+def simulate_uniform(
+    references: Sequence[str],
+    error_rate: float,
+    coverage: int,
+    seed: int | None = None,
+    spatial: SpatialDistribution | None = None,
+) -> StrandPool:
+    """Simulate a pool at a given aggregate error rate.
+
+    The rate is split evenly across insertion/deletion/substitution
+    (Section 3.4.1's p-bar convention); an optional spatial distribution
+    redistributes it along the strand.
+    """
+    model = ErrorModel.uniform(error_rate)
+    if spatial is not None:
+        model = model.with_spatial(spatial)
+    simulator = Simulator(model, ConstantCoverage(coverage), seed)
+    return simulator.simulate(references)
+
+
+def sweep_error_and_coverage(
+    reconstructors: Sequence[Reconstructor],
+    error_rates: Sequence[float],
+    coverages: Sequence[int],
+    n_strands: int = 200,
+    strand_length: int = 110,
+    seed: int | None = 0,
+) -> list[SweepPoint]:
+    """Grid sweep of Section 3.4.1: error rates x coverages x algorithms,
+    uniform spatial distribution."""
+    references = make_references(n_strands, strand_length, seed)
+    points: list[SweepPoint] = []
+    for error_rate in error_rates:
+        for coverage in coverages:
+            pool = simulate_uniform(
+                references, error_rate, coverage, seed=seed
+            )
+            for reconstructor in reconstructors:
+                report = evaluate_reconstruction(pool, reconstructor)
+                points.append(
+                    SweepPoint(
+                        error_rate=error_rate,
+                        coverage=coverage,
+                        spatial="uniform",
+                        algorithm=reconstructor.name,
+                        report=report,
+                    )
+                )
+    return points
+
+
+def sweep_spatial(
+    reconstructors: Sequence[Reconstructor],
+    spatials: dict[str, SpatialDistribution],
+    error_rate: float = 0.15,
+    coverage: int = 5,
+    n_strands: int = 200,
+    strand_length: int = 110,
+    seed: int | None = 0,
+    with_curves: bool = True,
+) -> tuple[list[SweepPoint], list[CurvePoint]]:
+    """Spatial-distribution sweep of Section 3.4.2 at fixed error rate and
+    coverage; optionally computes post-reconstruction curves."""
+    references = make_references(n_strands, strand_length, seed)
+    points: list[SweepPoint] = []
+    curves: list[CurvePoint] = []
+    for name, spatial in spatials.items():
+        pool = simulate_uniform(
+            references, error_rate, coverage, seed=seed, spatial=spatial
+        )
+        for reconstructor in reconstructors:
+            estimates = reconstructor.reconstruct_pool(pool, strand_length)
+            report = evaluate_reconstruction(pool, reconstructor)
+            points.append(
+                SweepPoint(
+                    error_rate=error_rate,
+                    coverage=coverage,
+                    spatial=name,
+                    algorithm=reconstructor.name,
+                    report=report,
+                )
+            )
+            if with_curves:
+                hamming_curve, gestalt_curve = post_reconstruction_curves(
+                    pool, estimates
+                )
+                curves.append(
+                    CurvePoint(
+                        error_rate=error_rate,
+                        coverage=coverage,
+                        spatial=name,
+                        algorithm=reconstructor.name,
+                        hamming_curve=hamming_curve,
+                        gestalt_curve=gestalt_curve,
+                    )
+                )
+    return points, curves

@@ -1,0 +1,7 @@
+"""Baseline simulators the paper compares against: DNASimulator
+(Algorithm 1) and the naive three-parameter simulator (Section 2.2)."""
+
+from repro.baselines.dnasimulator import DNASimulatorBaseline
+from repro.baselines.naive import NaiveSimulator
+
+__all__ = ["DNASimulatorBaseline", "NaiveSimulator"]

@@ -1,0 +1,73 @@
+"""The naive simulator: three aggregate probabilities, nothing else.
+
+The paper designs this strawman (Section 2.2.2) to show that DNASimulator
+"performs roughly the same as a naive simulator": it ignores conditional
+base-wise probabilities, long deletions, spatial distribution — every
+refinement of Chapter 3.  It is also the starting point of the
+progressive model comparison (first simulator row of Tables 3.1/3.2).
+
+Implemented as a thin preset over the shared channel machinery so that
+behavioural differences between simulators are entirely in their
+parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.coverage import ConstantCoverage, CoverageModel, CustomCoverage
+from repro.core.errors import ErrorModel
+from repro.core.simulator import Simulator
+from repro.core.strand import StrandPool
+
+
+class NaiveSimulator:
+    """Aggregate-probability IDS simulator.
+
+    Args:
+        insertion_rate / deletion_rate / substitution_rate: the three
+            aggregate per-position probabilities (Section 3.3's "naive
+            simulator only models three parameters").
+        coverage: constant per-cluster coverage, or any
+            :class:`CoverageModel`.
+        seed: seed for the private random stream.
+    """
+
+    def __init__(
+        self,
+        insertion_rate: float,
+        deletion_rate: float,
+        substitution_rate: float,
+        coverage: int | CoverageModel = 5,
+        seed: int | None = None,
+    ) -> None:
+        model = ErrorModel.naive(insertion_rate, deletion_rate, substitution_rate)
+        coverage_model = (
+            coverage
+            if isinstance(coverage, CoverageModel)
+            else ConstantCoverage(coverage)
+        )
+        self._simulator = Simulator(model, coverage_model, seed)
+
+    @property
+    def model(self) -> ErrorModel:
+        """The underlying aggregate error model."""
+        return self._simulator.model
+
+    @property
+    def rng(self) -> random.Random:
+        """The simulator's private random stream."""
+        return self._simulator.rng
+
+    def generate(self, references: Sequence[str]) -> StrandPool:
+        """Generate a pseudo-clustered noisy pool for ``references``."""
+        return self._simulator.simulate(references)
+
+    def generate_with_coverages(
+        self, references: Sequence[str], coverages: Sequence[int]
+    ) -> StrandPool:
+        """Custom-coverage variant (Table 2.1 protocol)."""
+        return self._simulator.channel.transmit_pool(
+            references, CustomCoverage(coverages)
+        )

@@ -1,0 +1,262 @@
+"""Command-line interface (``dnasim``), modelled on DNASimulator's tooling.
+
+Subcommands:
+
+* ``dataset``     — generate a synthetic Nanopore-like wetlab dataset;
+* ``profile``     — measure error statistics of a clustered dataset;
+* ``generate``    — fit a simulator to a dataset and generate noisy copies;
+* ``evaluate``    — run reconstruction algorithms and report accuracy;
+* ``experiment``  — run one (or all) of the paper's table/figure
+  reproductions.
+
+All clustered files use DNASimulator's evyat text format
+(:mod:`repro.data.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.coverage import ConstantCoverage
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.simulator import Simulator
+from repro.data.io import read_pool, read_references, write_pool
+from repro.data.nanopore import make_nanopore_dataset
+from repro.metrics.accuracy import evaluate_reconstruction
+from repro.reconstruct.base import Reconstructor
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.majority import PositionalMajority
+from repro.reconstruct.msa import StarMSAConsensus
+from repro.reconstruct.two_way import TwoWayIterative
+
+RECONSTRUCTORS: dict[str, type] = {
+    "bma": BMALookahead,
+    "divbma": DividerBMA,
+    "iterative": IterativeReconstruction,
+    "two-way-iterative": TwoWayIterative,
+    "majority": PositionalMajority,
+    "msa": StarMSAConsensus,
+}
+
+EXPERIMENTS = (
+    "table_1_1",
+    "table_2_1",
+    "table_2_2",
+    "table_3_1",
+    "table_3_2",
+    "fig_3_2",
+    "fig_3_3",
+    "fig_3_4",
+    "fig_3_5",
+    "fig_3_6",
+    "fig_3_7",
+    "fig_3_8",
+    "fig_3_9",
+    "fig_3_10",
+    "appendix_c",
+    "ext_two_way",
+    "ext_staged",
+    "ext_reliability",
+    "ablation",
+)
+
+
+def _make_reconstructor(name: str) -> Reconstructor:
+    try:
+        return RECONSTRUCTORS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(RECONSTRUCTORS)}"
+        ) from None
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    pool = make_nanopore_dataset(
+        n_clusters=args.clusters,
+        strand_length=args.length,
+        mean_coverage=args.coverage,
+        seed=args.seed,
+    )
+    write_pool(pool, args.output)
+    print(
+        f"wrote {len(pool)} clusters / {pool.total_copies} noisy copies "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    pool = read_pool(args.dataset)
+    profile = ErrorProfile.from_pool(
+        pool, max_copies_per_cluster=args.max_copies
+    )
+    statistics = profile.statistics
+    rates = statistics.aggregate_rates()
+    print(f"dataset: {len(pool)} clusters, {pool.total_copies} copies")
+    print(f"mean coverage: {pool.mean_coverage:.2f}  erasures: {pool.erasure_count}")
+    print(f"aggregate error rate: {statistics.aggregate_error_rate() * 100:.2f}%")
+    print(
+        "rates: "
+        + "  ".join(f"{kind}={value * 100:.3f}%" for kind, value in rates.items())
+    )
+    print(
+        f"long deletions: p={statistics.long_deletion_rate() * 100:.3f}%  "
+        f"mean length={statistics.mean_long_deletion_length():.2f}"
+    )
+    print("top second-order errors:")
+    for key, count in statistics.top_second_order_errors(10):
+        print(f"  {statistics.describe_second_order(key):14s} {count}")
+    print(
+        f"top-10 second-order coverage: "
+        f"{statistics.second_order_fraction(10) * 100:.1f}% of errors"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    training = read_pool(args.train)
+    profile = ErrorProfile.from_pool(
+        training, max_copies_per_cluster=args.max_copies
+    )
+    stage = SimulatorStage(args.stage)
+    simulator = Simulator.fitted(
+        profile,
+        stage=stage,
+        coverage=ConstantCoverage(args.coverage),
+        seed=args.seed,
+    )
+    if args.references:
+        references = read_references(args.references)
+    else:
+        references = training.references
+    pool = simulator.simulate(references)
+    write_pool(pool, args.output)
+    print(
+        f"simulated {len(pool)} clusters at coverage {args.coverage} "
+        f"({stage.value} stage) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    pool = read_pool(args.dataset)
+    if args.trim is not None:
+        pool = pool.trimmed(args.trim)
+    for name in args.algorithms:
+        reconstructor = _make_reconstructor(name)
+        report = evaluate_reconstruction(pool, reconstructor)
+        print(f"{reconstructor.name:20s} {report}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.report import generate_report
+
+    index = generate_report(args.output_dir, n_clusters=args.clusters)
+    print(f"report written to {index}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(f"=== {name} ===")
+        module.run(n_clusters=args.clusters) if name != "table_1_1" else module.run()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``dnasim`` argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="dnasim",
+        description="DNA-storage noisy-channel simulator "
+        "(reproduction of 'Simulating Noisy Channels in DNA Storage')",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    dataset = commands.add_parser(
+        "dataset", help="generate a synthetic Nanopore wetlab dataset"
+    )
+    dataset.add_argument("output", help="output evyat file")
+    dataset.add_argument("--clusters", type=int, default=1000)
+    dataset.add_argument("--length", type=int, default=110)
+    dataset.add_argument("--coverage", type=float, default=26.97)
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.set_defaults(handler=_cmd_dataset)
+
+    profile = commands.add_parser(
+        "profile", help="measure error statistics of a clustered dataset"
+    )
+    profile.add_argument("dataset", help="input evyat file")
+    profile.add_argument("--max-copies", type=int, default=4)
+    profile.set_defaults(handler=_cmd_profile)
+
+    generate = commands.add_parser(
+        "generate", help="fit a simulator to data and generate noisy copies"
+    )
+    generate.add_argument("train", help="training dataset (evyat)")
+    generate.add_argument("output", help="output evyat file")
+    generate.add_argument(
+        "--stage",
+        choices=[stage.value for stage in SimulatorStage],
+        default=SimulatorStage.SECOND_ORDER.value,
+    )
+    generate.add_argument("--coverage", type=int, default=5)
+    generate.add_argument("--references", help="optional reference-strand file")
+    generate.add_argument("--max-copies", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run reconstruction algorithms over a dataset"
+    )
+    evaluate.add_argument("dataset", help="input evyat file")
+    evaluate.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["bma", "iterative"],
+        metavar="ALGO",
+        help=f"any of {sorted(RECONSTRUCTORS)}",
+    )
+    evaluate.add_argument(
+        "--trim", type=int, help="trim every cluster to this coverage first"
+    )
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a paper table/figure reproduction"
+    )
+    experiment.add_argument(
+        "name", choices=EXPERIMENTS + ("all",), help="experiment id"
+    )
+    experiment.add_argument("--clusters", type=int, default=None)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    report = commands.add_parser(
+        "report",
+        help="regenerate every table and figure as an HTML+SVG report",
+    )
+    report.add_argument("output_dir", help="directory for index.html + SVGs")
+    report.add_argument("--clusters", type=int, default=None)
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Read clustering: perfect (pseudo) clustering, q-gram indexing, and
+greedy edit-distance clustering (Sections 1.1.2, 3.1)."""
+
+from repro.cluster.greedy import GreedyClusterer, GreedyClusteringResult
+from repro.cluster.pseudo import (
+    LabelledRead,
+    cluster_size_histogram,
+    clustering_accuracy,
+    flatten_with_labels,
+    rebuild_pool,
+    shuffle_reads,
+)
+from repro.cluster.qgram_index import QGramIndex, build_index, qgrams
+
+__all__ = [
+    "GreedyClusterer",
+    "GreedyClusteringResult",
+    "LabelledRead",
+    "QGramIndex",
+    "build_index",
+    "cluster_size_histogram",
+    "clustering_accuracy",
+    "flatten_with_labels",
+    "qgrams",
+    "rebuild_pool",
+    "shuffle_reads",
+]

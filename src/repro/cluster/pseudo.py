@@ -1,0 +1,112 @@
+"""Perfect (pseudo-) clustering and clustering-quality metrics.
+
+Section 3.1: before evaluating a simulator one must decide whether its
+noisy copies are clustered imperfectly (shuffle, then run a real
+clustering algorithm) or perfectly ("pseudo-clustering", where the
+simulator's ordered output is taken as already clustered).  The paper
+uses pseudo-clustering to avoid contaminating reconstruction accuracy
+with clustering artefacts; the imperfect path is implemented in
+:mod:`repro.cluster.greedy` and can be compared with the metrics here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.strand import StrandPool
+
+
+@dataclass(frozen=True)
+class LabelledRead:
+    """A read tagged with the index of the cluster it truly belongs to."""
+
+    sequence: str
+    true_cluster: int
+
+
+def flatten_with_labels(pool: StrandPool) -> list[LabelledRead]:
+    """Flatten a pseudo-clustered pool into ground-truth-labelled reads."""
+    reads: list[LabelledRead] = []
+    for cluster_index, cluster in enumerate(pool):
+        for copy in cluster.copies:
+            reads.append(LabelledRead(copy, cluster_index))
+    return reads
+
+
+def shuffle_reads(
+    reads: Sequence[LabelledRead], rng: random.Random
+) -> list[LabelledRead]:
+    """Random shuffle — turns pseudo-clustered output into the unordered
+    read-out a sequencer produces."""
+    shuffled = list(reads)
+    rng.shuffle(shuffled)
+    return shuffled
+
+
+def clustering_accuracy(
+    assignments: Sequence[int], reads: Sequence[LabelledRead]
+) -> float:
+    """Fraction of reads whose cluster is "correct" under majority mapping.
+
+    Each predicted cluster is mapped to the ground-truth cluster that
+    contributes most of its reads; a read is counted correct if its true
+    cluster matches its predicted cluster's mapped label.  This is the
+    standard purity measure for unsupervised clusterings.
+    """
+    if len(assignments) != len(reads):
+        raise ValueError(
+            f"{len(assignments)} assignments but {len(reads)} reads"
+        )
+    if not reads:
+        return 0.0
+    members: dict[int, Counter] = {}
+    for assignment, read in zip(assignments, reads):
+        members.setdefault(assignment, Counter())[read.true_cluster] += 1
+    correct = sum(counter.most_common(1)[0][1] for counter in members.values())
+    return correct / len(reads)
+
+
+def cluster_size_histogram(assignments: Sequence[int]) -> dict[int, int]:
+    """Map predicted-cluster size -> number of clusters of that size."""
+    sizes = Counter(assignments)
+    histogram: Counter = Counter(sizes.values())
+    return dict(sorted(histogram.items()))
+
+
+def rebuild_pool(
+    assignments: Sequence[int],
+    reads: Sequence[LabelledRead],
+    reference_pool: StrandPool,
+) -> StrandPool:
+    """Reassemble a pool from predicted clusters for reconstruction tests.
+
+    Each predicted cluster is attached to the reference of its majority
+    ground-truth cluster, so reconstruction accuracy after *imperfect*
+    clustering can be compared with the pseudo-clustered accuracy.
+    References that received no predicted cluster appear as erasures.
+    """
+    if len(assignments) != len(reads):
+        raise ValueError(
+            f"{len(assignments)} assignments but {len(reads)} reads"
+        )
+    members: dict[int, list[LabelledRead]] = {}
+    for assignment, read in zip(assignments, reads):
+        members.setdefault(assignment, []).append(read)
+
+    copies_per_reference: dict[int, list[str]] = {}
+    for cluster_reads in members.values():
+        majority_cluster = Counter(
+            read.true_cluster for read in cluster_reads
+        ).most_common(1)[0][0]
+        copies_per_reference.setdefault(majority_cluster, []).extend(
+            read.sequence for read in cluster_reads
+        )
+
+    rebuilt = StrandPool.from_references(reference_pool.references)
+    for reference_index, copies in copies_per_reference.items():
+        for copy in copies:
+            rebuilt[reference_index].add_copy(copy)
+    return rebuilt

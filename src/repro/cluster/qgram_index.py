@@ -1,0 +1,115 @@
+"""Q-gram signature index for scalable candidate-pair generation.
+
+Clustering billions of reads (Rashtchian et al., cited in Section 3.1)
+is only feasible if most read pairs are never compared.  The standard
+trick: two reads within small edit distance share many q-grams, so
+bucketing reads by a few q-gram-derived signatures surfaces almost every
+close pair while examining only a vanishing fraction of all pairs.
+
+This index buckets each read by the minimum-hash of its q-gram set under
+several independent hash seeds; reads sharing any bucket become candidate
+pairs for the exact (banded) edit-distance check in
+:mod:`repro.cluster.greedy`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator, Sequence
+
+
+def qgrams(sequence: str, q: int) -> set[str]:
+    """The set of q-grams (length-q substrings) of ``sequence``.
+
+    A sequence shorter than ``q`` contributes itself as its only gram so
+    short reads still land in some bucket.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if len(sequence) < q:
+        return {sequence} if sequence else set()
+    return {sequence[start : start + q] for start in range(len(sequence) - q + 1)}
+
+
+def _stable_hash(text: str, seed: int) -> int:
+    """Deterministic FNV-1a string hash with a seed mixed in.
+
+    Python's built-in ``hash`` is randomised per process, which would make
+    clustering non-reproducible across runs.
+    """
+    value = (2166136261 ^ (seed * 16777619)) & 0xFFFFFFFF
+    for char in text:
+        value ^= ord(char)
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value
+
+
+class QGramIndex:
+    """Min-hash bucket index over q-gram sets.
+
+    Args:
+        q: gram length (defaults to 11: long enough that random 110-base
+            strands rarely collide, short enough that a 6% error rate
+            leaves many grams intact).
+        bands: number of independent min-hash signatures per read; a pair
+            of similar reads collides in at least one band with high
+            probability.
+    """
+
+    def __init__(self, q: int = 11, bands: int = 4) -> None:
+        if bands < 1:
+            raise ValueError(f"bands must be >= 1, got {bands}")
+        self.q = q
+        self.bands = bands
+        self._buckets: list[dict[int, list[int]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._count = 0
+
+    def signature(self, sequence: str) -> list[int]:
+        """The read's min-hash signature, one value per band."""
+        grams = qgrams(sequence, self.q)
+        if not grams:
+            return [0] * self.bands
+        return [
+            min(_stable_hash(gram, band) for gram in grams)
+            for band in range(self.bands)
+        ]
+
+    def add(self, read_index: int, sequence: str) -> None:
+        """Register a read under its signature buckets."""
+        for band, value in enumerate(self.signature(sequence)):
+            self._buckets[band][value].append(read_index)
+        self._count += 1
+
+    def candidates(self, sequence: str) -> set[int]:
+        """Indices of previously added reads sharing any bucket."""
+        found: set[int] = set()
+        for band, value in enumerate(self.signature(sequence)):
+            found.update(self._buckets[band].get(value, ()))
+        return found
+
+    def candidate_pairs(self) -> Iterator[tuple[int, int]]:
+        """All within-bucket pairs, deduplicated (for offline clustering)."""
+        seen: set[tuple[int, int]] = set()
+        for band_buckets in self._buckets:
+            for members in band_buckets.values():
+                if len(members) < 2:
+                    continue
+                for first_position, first in enumerate(members):
+                    for second in members[first_position + 1 :]:
+                        pair = (min(first, second), max(first, second))
+                        if pair not in seen:
+                            seen.add(pair)
+                            yield pair
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def build_index(reads: Sequence[str], q: int = 11, bands: int = 4) -> QGramIndex:
+    """Index every read of a read-out in one pass."""
+    index = QGramIndex(q=q, bands=bands)
+    for read_index, sequence in enumerate(reads):
+        index.add(read_index, sequence)
+    return index

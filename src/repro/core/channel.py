@@ -1,0 +1,225 @@
+"""The IDS noisy channel: executes an :class:`ErrorModel` over strands.
+
+This is the runtime of every simulator in the repository — the naive
+simulator, each progressive stage of the paper's simulator, the
+DNASimulator baseline (re-expressed as an ``ErrorModel``), and the
+ground-truth wetlab substitute all share this one channel implementation
+and differ only in parameters.
+
+The channel maps ``(Sigma_L)^N -> (Sigma^*)^M`` (Section 1.1): each
+reference strand is transmitted ``coverage`` times, and each transmission
+walks the strand base by base, rolling a single uniform variate per
+position against a precomputed cumulative *event ladder* (burst ->
+second-order errors -> long deletion -> substitution -> insertion ->
+deletion -> no error).  Ladders are cached per strand length, so the hot
+loop does one ``random()`` call and one short scan per base.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.alphabet import BASES, homopolymer_mask
+from repro.core.coverage import CoverageModel
+from repro.core.errors import ErrorModel
+from repro.core.strand import Cluster, StrandPool
+
+# Event tags used in the ladder; tuples keep second-order errors attached.
+_BURST = ("burst",)
+_LONG_DELETION = ("long_deletion",)
+_SUBSTITUTION = ("substitution",)
+_INSERTION = ("insertion",)
+_DELETION = ("deletion",)
+
+# One ladder per (base, position): (total_probability, [(cum, event), ...]).
+_Ladder = tuple[float, list[tuple[float, tuple]]]
+
+
+class Channel:
+    """A stochastic IDS channel parameterised by an :class:`ErrorModel`.
+
+    Args:
+        model: the error model to execute.
+        rng: source of randomness.  Supply a seeded ``random.Random`` for
+            reproducible experiments.
+    """
+
+    def __init__(self, model: ErrorModel, rng: random.Random | None = None) -> None:
+        self.model = model
+        self.rng = rng if rng is not None else random.Random()
+        self._ladder_cache: dict[int, dict[str, list[_Ladder]]] = {}
+
+    # ---------------------------------------------------------------- #
+    # Public API
+    # ---------------------------------------------------------------- #
+
+    def transmit(self, reference: str) -> str:
+        """Transmit one strand through the channel, returning a noisy copy."""
+        model = self.model
+        rng = self.rng
+        length = len(reference)
+        if length == 0:
+            return ""
+        tables = self._tables(length)
+        mask = (
+            homopolymer_mask(reference)
+            if model.homopolymer_factor != 1.0
+            else None
+        )
+        output: list[str] = []
+        position = 0
+        while position < length:
+            base = reference[position]
+            total, ladder = tables[base][position]
+            roll = rng.random()
+            if mask is not None and mask[position]:
+                # Scaling every event probability by the homopolymer factor
+                # is equivalent to shrinking the roll.
+                factor = model.homopolymer_factor
+                roll = roll / factor if factor > 0 else 2.0
+            if roll >= total:
+                output.append(base)
+                position += 1
+                continue
+            event = None
+            for threshold, candidate in ladder:
+                if roll < threshold:
+                    event = candidate
+                    break
+            if event is None:  # floating-point edge at the ladder top
+                output.append(base)
+                position += 1
+                continue
+            position = self._apply_event(event, reference, position, output)
+        return "".join(output)
+
+    def transmit_many(self, reference: str, coverage: int) -> list[str]:
+        """Generate ``coverage`` independent noisy copies of one strand."""
+        if coverage < 0:
+            raise ValueError(f"coverage must be non-negative, got {coverage}")
+        return [self.transmit(reference) for _ in range(coverage)]
+
+    def transmit_cluster(self, reference: str, coverage: int) -> Cluster:
+        """Generate one cluster: the reference plus ``coverage`` noisy copies."""
+        return Cluster(reference, self.transmit_many(reference, coverage))
+
+    def transmit_pool(
+        self, references: Sequence[str], coverage_model: CoverageModel
+    ) -> StrandPool:
+        """Transmit a whole pool of references with per-cluster coverages
+        drawn from ``coverage_model`` (pseudo-clustered output,
+        Section 3.1)."""
+        coverages = coverage_model.draw(len(references), self.rng)
+        return StrandPool(
+            [
+                self.transmit_cluster(reference, coverage)
+                for reference, coverage in zip(references, coverages)
+            ]
+        )
+
+    # ---------------------------------------------------------------- #
+    # Event execution
+    # ---------------------------------------------------------------- #
+
+    def _apply_event(
+        self, event: tuple, reference: str, position: int, output: list[str]
+    ) -> int:
+        """Apply one channel event; returns the next reference position."""
+        model = self.model
+        rng = self.rng
+        base = reference[position]
+        tag = event[0]
+        if tag == "substitution":
+            output.append(model.draw_substitution(base, rng))
+            return position + 1
+        if tag == "insertion":
+            output.append(base)
+            output.append(model.draw_insertion_base(rng))
+            return position + 1
+        if tag == "deletion":
+            return position + 1
+        if tag == "long_deletion":
+            run_length = model.draw_long_deletion_length(rng)
+            return position + run_length
+        if tag == "second_order":
+            error = event[1]
+            if error.kind == "deletion":
+                return position + 1
+            if error.kind == "substitution":
+                output.append(error.replacement)
+                return position + 1
+            # insertion: emit the base, then the inserted base after it.
+            output.append(base)
+            output.append(error.replacement)
+            return position + 1
+        if tag == "burst":
+            return self._apply_burst(reference, position, output)
+        raise RuntimeError(f"unknown channel event {event!r}")  # pragma: no cover
+
+    def _apply_burst(
+        self, reference: str, position: int, output: list[str]
+    ) -> int:
+        """Nanopore burst: corrupt >= burst_min_length consecutive bases."""
+        model = self.model
+        rng = self.rng
+        run_length = model.burst_min_length
+        while rng.random() < model.burst_continue:
+            run_length += 1
+        run_length = min(run_length, len(reference) - position)
+        if rng.random() < model.burst_deletion_fraction:
+            return position + run_length  # the whole run is deleted
+        for offset in range(run_length):
+            burst_base = reference[position + offset]
+            output.append(model.draw_substitution(burst_base, rng))
+        return position + run_length
+
+    # ---------------------------------------------------------------- #
+    # Ladder construction
+    # ---------------------------------------------------------------- #
+
+    def _tables(self, length: int) -> dict[str, list[_Ladder]]:
+        """Cumulative event ladders for every (base, position), cached per
+        strand length."""
+        cached = self._ladder_cache.get(length)
+        if cached is not None:
+            return cached
+        model = self.model
+        weights = model.spatial.weights(length)
+        second_order_weights = [
+            error.spatial.weights(length) for error in model.second_order_errors
+        ]
+        tables: dict[str, list[_Ladder]] = {base: [] for base in BASES}
+        for position in range(length):
+            weight = weights[position]
+            for base in BASES:
+                cumulative = 0.0
+                ladder: list[tuple[float, tuple]] = []
+                if model.burst_rate > 0:
+                    cumulative += model.burst_rate * weight
+                    ladder.append((cumulative, _BURST))
+                for error, error_weights in zip(
+                    model.second_order_errors, second_order_weights
+                ):
+                    if error.kind == "insertion" or error.base == base:
+                        probability = error.rate * error_weights[position]
+                        if probability > 0:
+                            cumulative += probability
+                            ladder.append(
+                                (cumulative, ("second_order", error))
+                            )
+                if model.long_deletion_rate > 0:
+                    cumulative += model.long_deletion_rate * weight
+                    ladder.append((cumulative, _LONG_DELETION))
+                for rate_table, event in (
+                    (model.substitution_rate, _SUBSTITUTION),
+                    (model.insertion_rate, _INSERTION),
+                    (model.deletion_rate, _DELETION),
+                ):
+                    probability = rate_table[base] * weight
+                    if probability > 0:
+                        cumulative += probability
+                        ladder.append((cumulative, event))
+                tables[base].append((cumulative, ladder))
+        self._ladder_cache[length] = tables
+        return tables

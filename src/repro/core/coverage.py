@@ -1,0 +1,207 @@
+"""Sequencing-coverage models.
+
+The number of noisy copies per reference strand (its *coverage*) is itself
+random: PCR amplifies some sequences preferentially, and sequencing samples
+reads from the amplified pool.  Heckel et al. found the per-strand read
+count to be approximately **negative-binomially** distributed, "unlike
+prior assumptions of a uniform distribution or even a constant coverage"
+(Section 2.1).  DNASimulator, by contrast, only supports a constant
+coverage — one of the deficiencies the paper identifies (Section 2.2.3).
+
+A :class:`CoverageModel` draws a coverage value for each of ``n`` clusters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+
+class CoverageModel(ABC):
+    """Draws per-cluster coverages for a pool of ``n`` reference strands."""
+
+    @abstractmethod
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        """Return one non-negative coverage per cluster."""
+
+    def _check(self, n_clusters: int) -> None:
+        if n_clusters < 0:
+            raise ValueError(f"n_clusters must be non-negative, got {n_clusters}")
+
+
+class ConstantCoverage(CoverageModel):
+    """Every cluster receives exactly ``coverage`` copies (DNASimulator's N)."""
+
+    def __init__(self, coverage: int) -> None:
+        if coverage < 0:
+            raise ValueError(f"coverage must be non-negative, got {coverage}")
+        self.coverage = coverage
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        return [self.coverage] * n_clusters
+
+    def __repr__(self) -> str:
+        return f"ConstantCoverage({self.coverage})"
+
+
+class CustomCoverage(CoverageModel):
+    """Per-cluster coverages copied from a reference dataset.
+
+    This is the paper's **custom coverage** protocol (Section 2.2.2): each
+    simulated cluster receives exactly the coverage of the corresponding
+    real cluster, controlling for the coverage distribution.
+    """
+
+    def __init__(self, coverages: Sequence[int]) -> None:
+        if any(coverage < 0 for coverage in coverages):
+            raise ValueError("coverages must be non-negative")
+        self.coverages = list(coverages)
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        if n_clusters != len(self.coverages):
+            raise ValueError(
+                f"CustomCoverage holds {len(self.coverages)} coverages but "
+                f"{n_clusters} clusters were requested"
+            )
+        return list(self.coverages)
+
+    def __repr__(self) -> str:
+        return f"CustomCoverage(<{len(self.coverages)} clusters>)"
+
+
+class PoissonCoverage(CoverageModel):
+    """Poisson-distributed coverage.
+
+    Suggested for PCR amplification by Heckel/Shomorony et al.
+    (Section 2.1) as an improvement over uniform draws.
+    """
+
+    def __init__(self, mean: float) -> None:
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        self.mean = mean
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        return [_poisson(self.mean, rng) for _ in range(n_clusters)]
+
+    def __repr__(self) -> str:
+        return f"PoissonCoverage(mean={self.mean})"
+
+
+class NegativeBinomialCoverage(CoverageModel):
+    """Negative-binomially distributed coverage (Heckel et al.'s finding).
+
+    Parameterised by ``mean`` and ``dispersion`` (the shape parameter r):
+    variance = mean + mean**2 / dispersion, so smaller ``dispersion``
+    means heavier over-dispersion.  Sampled as a Gamma-Poisson mixture.
+    """
+
+    def __init__(self, mean: float, dispersion: float) -> None:
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        if dispersion <= 0:
+            raise ValueError(f"dispersion must be positive, got {dispersion}")
+        self.mean = mean
+        self.dispersion = dispersion
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        coverages = []
+        for _ in range(n_clusters):
+            if self.mean == 0:
+                coverages.append(0)
+                continue
+            rate = rng.gammavariate(self.dispersion, self.mean / self.dispersion)
+            coverages.append(_poisson(rate, rng))
+        return coverages
+
+    def variance(self) -> float:
+        """Theoretical variance of the coverage distribution."""
+        return self.mean + self.mean**2 / self.dispersion
+
+    def __repr__(self) -> str:
+        return (
+            f"NegativeBinomialCoverage(mean={self.mean}, "
+            f"dispersion={self.dispersion})"
+        )
+
+
+class NormalCoverage(CoverageModel):
+    """Normally distributed coverage, truncated at zero and rounded.
+
+    Bornholt et al. observed sequencing coverage to be approximately
+    normal across strands (cited in Section 2.2.3).
+    """
+
+    def __init__(self, mean: float, stdev: float) -> None:
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        if stdev < 0:
+            raise ValueError(f"stdev must be non-negative, got {stdev}")
+        self.mean = mean
+        self.stdev = stdev
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        return [
+            max(0, round(rng.gauss(self.mean, self.stdev))) for _ in range(n_clusters)
+        ]
+
+    def __repr__(self) -> str:
+        return f"NormalCoverage(mean={self.mean}, stdev={self.stdev})"
+
+
+class ErasureCoverage(CoverageModel):
+    """Wrap another coverage model with an explicit per-cluster erasure rate.
+
+    With probability ``erasure_probability`` a cluster receives zero copies
+    regardless of the inner model — modelling the complete strand losses
+    (16 of 10,000 in the paper's dataset) caused by failed amplification
+    or decay.
+    """
+
+    def __init__(self, inner: CoverageModel, erasure_probability: float) -> None:
+        if not 0.0 <= erasure_probability <= 1.0:
+            raise ValueError(
+                f"erasure_probability must be in [0, 1], got {erasure_probability}"
+            )
+        self.inner = inner
+        self.erasure_probability = erasure_probability
+
+    def draw(self, n_clusters: int, rng: random.Random) -> list[int]:
+        self._check(n_clusters)
+        coverages = self.inner.draw(n_clusters, rng)
+        return [
+            0 if rng.random() < self.erasure_probability else coverage
+            for coverage in coverages
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ErasureCoverage({self.inner!r}, "
+            f"erasure_probability={self.erasure_probability})"
+        )
+
+
+def _poisson(mean: float, rng: random.Random) -> int:
+    """Draw one Poisson variate.
+
+    Knuth's product method for small means; for large means a normal
+    approximation keeps the draw O(1).
+    """
+    if mean <= 0:
+        return 0
+    if mean > 60:
+        return max(0, round(rng.gauss(mean, math.sqrt(mean))))
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,94 @@
+"""The simulator front-end: the paper's primary deliverable.
+
+A :class:`Simulator` bundles an :class:`~repro.core.errors.ErrorModel`
+(what errors look like) with a
+:class:`~repro.core.coverage.CoverageModel` (how many noisy copies each
+strand receives) and produces pseudo-clustered
+:class:`~repro.core.strand.StrandPool` datasets from reference strands —
+the ``(Sigma_L)^N -> (Sigma^*)^M`` transformation of Section 2.3.
+
+Typical use reproduces the paper's workflow end to end::
+
+    profile = ErrorProfile.from_pool(real_data)          # data-driven fit
+    simulator = Simulator.fitted(profile,
+                                 stage=SimulatorStage.SECOND_ORDER,
+                                 coverage=ConstantCoverage(5), seed=7)
+    simulated = simulator.simulate(real_data.references)
+
+``simulated`` can then be fed to any reconstruction algorithm and its
+accuracy compared against the real data's (Section 3.1, metric 4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.alphabet import random_strand
+from repro.core.channel import Channel
+from repro.core.coverage import ConstantCoverage, CoverageModel
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.strand import StrandPool
+
+
+class Simulator:
+    """Generates noisy pseudo-clustered datasets from reference strands.
+
+    Args:
+        model: the error model to execute for every transmission.
+        coverage: per-cluster coverage model (defaults to a constant 5,
+            one of the paper's two reference coverages).
+        seed: seed for the simulator's private random stream.  Two
+            simulators constructed with the same model, coverage, and seed
+            produce identical pools.
+    """
+
+    def __init__(
+        self,
+        model: ErrorModel,
+        coverage: CoverageModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.model = model
+        self.coverage = coverage if coverage is not None else ConstantCoverage(5)
+        self.rng = random.Random(seed)
+        self.channel = Channel(model, self.rng)
+
+    @classmethod
+    def fitted(
+        cls,
+        profile: ErrorProfile,
+        stage: SimulatorStage = SimulatorStage.SECOND_ORDER,
+        coverage: CoverageModel | None = None,
+        seed: int | None = None,
+        top_second_order: int = 10,
+    ) -> "Simulator":
+        """Build a simulator from a fitted :class:`ErrorProfile` at any of
+        the paper's four model stages."""
+        model = profile.model_for_stage(stage, top_second_order)
+        return cls(model, coverage, seed)
+
+    def simulate(self, references: Sequence[str]) -> StrandPool:
+        """Transmit every reference; returns a pseudo-clustered pool."""
+        return self.channel.transmit_pool(references, self.coverage)
+
+    def simulate_random(self, n_strands: int, strand_length: int) -> StrandPool:
+        """Generate random references, then transmit them.
+
+        Convenience for sensitivity studies (Section 3.4) that do not care
+        about the reference content.
+        """
+        references = [
+            random_strand(strand_length, self.rng) for _ in range(n_strands)
+        ]
+        return self.simulate(references)
+
+    def simulate_like(self, reference_pool: StrandPool) -> StrandPool:
+        """Simulate with **custom coverage**: each cluster receives exactly
+        the coverage of the corresponding cluster of ``reference_pool``
+        (the paper's Table 2.1 protocol, Section 2.2.2)."""
+        from repro.core.coverage import CustomCoverage
+
+        coverages = CustomCoverage(reference_pool.coverages())
+        return self.channel.transmit_pool(reference_pool.references, coverages)

@@ -1,0 +1,203 @@
+"""Clusters and pools: the data shapes flowing through the storage pipeline.
+
+The noisy channel maps ``(Sigma_L)^N -> (Sigma^*)^M`` (Section 1.1): N
+reference strands of fixed length L become M reads of varying length.
+After (pseudo-)clustering, reads are grouped per reference strand.  Two
+containers model this:
+
+* :class:`Cluster` — one reference strand together with its noisy copies
+  (the *trace* handed to a reconstruction algorithm).
+* :class:`StrandPool` — an ordered collection of clusters, i.e. the whole
+  dataset.  The paper's Nanopore dataset is one ``StrandPool`` with
+  10,000 clusters and 269,709 copies.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.alphabet import validate_strand
+
+
+@dataclass
+class Cluster:
+    """A reference strand and the noisy copies attributed to it.
+
+    An *empty* cluster (no copies) is an erasure: the strand was lost to
+    failed PCR amplification, decay, or imperfect clustering
+    (Section 1.1.3).  The paper's dataset contains 16 such clusters.
+    """
+
+    reference: str
+    copies: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        validate_strand(self.reference)
+
+    @property
+    def coverage(self) -> int:
+        """Number of noisy copies (the cluster's sequencing coverage)."""
+        return len(self.copies)
+
+    @property
+    def is_erasure(self) -> bool:
+        """True if no noisy copy survived for this reference strand."""
+        return not self.copies
+
+    def trimmed(self, coverage: int) -> "Cluster":
+        """Return a copy restricted to the first ``coverage`` noisy copies.
+
+        This is the paper's fixed-coverage protocol (Section 3.2): after a
+        one-time shuffle, coverage *i* uses the first *i* copies, so higher
+        coverages differ from lower ones only in the extra copies chosen.
+        """
+        if coverage < 0:
+            raise ValueError(f"coverage must be non-negative, got {coverage}")
+        return Cluster(self.reference, list(self.copies[:coverage]))
+
+    def shuffled(self, rng: random.Random) -> "Cluster":
+        """Return a copy with the noisy copies in random order."""
+        copies = list(self.copies)
+        rng.shuffle(copies)
+        return Cluster(self.reference, copies)
+
+    def add_copy(self, copy: str) -> None:
+        """Append one noisy copy (reads may contain only valid bases)."""
+        validate_strand(copy)
+        self.copies.append(copy)
+
+    def __len__(self) -> int:
+        return len(self.copies)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.copies)
+
+
+@dataclass
+class StrandPool:
+    """An ordered collection of clusters — one full dataset.
+
+    The order of clusters is meaningful: simulators emit noisy copies in
+    reference order (*pseudo-clustering*, Section 3.1), and evaluation
+    relies on that pairing.
+    """
+
+    clusters: list[Cluster] = field(default_factory=list)
+
+    @classmethod
+    def from_references(cls, references: Iterable[str]) -> "StrandPool":
+        """Build a pool of empty clusters from reference strands."""
+        return cls([Cluster(reference) for reference in references])
+
+    @property
+    def references(self) -> list[str]:
+        """Reference strands, in pool order."""
+        return [cluster.reference for cluster in self.clusters]
+
+    @property
+    def total_copies(self) -> int:
+        """Total number of noisy copies across all clusters (the paper's M)."""
+        return sum(cluster.coverage for cluster in self.clusters)
+
+    @property
+    def mean_coverage(self) -> float:
+        """Average copies per cluster; 0.0 for an empty pool."""
+        if not self.clusters:
+            return 0.0
+        return self.total_copies / len(self.clusters)
+
+    @property
+    def erasure_count(self) -> int:
+        """Number of empty clusters (strand erasures)."""
+        return sum(1 for cluster in self.clusters if cluster.is_erasure)
+
+    def coverage_histogram(self) -> dict[int, int]:
+        """Map coverage value -> number of clusters with that coverage."""
+        histogram: dict[int, int] = {}
+        for cluster in self.clusters:
+            histogram[cluster.coverage] = histogram.get(cluster.coverage, 0) + 1
+        return histogram
+
+    def coverages(self) -> list[int]:
+        """Per-cluster coverage, in pool order (the 'custom coverage' input)."""
+        return [cluster.coverage for cluster in self.clusters]
+
+    def coverage_stats(self) -> dict[str, float]:
+        """Summary statistics of the coverage distribution."""
+        values = self.coverages()
+        if not values:
+            return {"mean": 0.0, "stdev": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "mean": statistics.fmean(values),
+            "stdev": statistics.pstdev(values),
+            "min": float(min(values)),
+            "max": float(max(values)),
+        }
+
+    def with_min_coverage(self, minimum: int) -> "StrandPool":
+        """Keep only clusters with at least ``minimum`` copies.
+
+        The paper's coverage study (Section 3.2) discards the 1,006
+        clusters with coverage below 10 before trimming.
+        """
+        return StrandPool(
+            [cluster for cluster in self.clusters if cluster.coverage >= minimum]
+        )
+
+    def trimmed(self, coverage: int) -> "StrandPool":
+        """Trim every cluster to its first ``coverage`` copies."""
+        return StrandPool([cluster.trimmed(coverage) for cluster in self.clusters])
+
+    def shuffled_copies(self, rng: random.Random) -> "StrandPool":
+        """Shuffle the copies *within* each cluster (the paper's first step)."""
+        return StrandPool([cluster.shuffled(rng) for cluster in self.clusters])
+
+    def all_copies(self) -> list[str]:
+        """Flatten all noisy copies, in pool order (the unordered read-out
+        handed to a real clustering algorithm, modulo a shuffle)."""
+        reads: list[str] = []
+        for cluster in self.clusters:
+            reads.extend(cluster.copies)
+        return reads
+
+    def subsampled(self, n_clusters: int, rng: random.Random) -> "StrandPool":
+        """Randomly select ``n_clusters`` clusters without replacement."""
+        if n_clusters > len(self.clusters):
+            raise ValueError(
+                f"cannot subsample {n_clusters} clusters from a pool of "
+                f"{len(self.clusters)}"
+            )
+        return StrandPool(rng.sample(self.clusters, n_clusters))
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self.clusters)
+
+    def __getitem__(self, index: int) -> Cluster:
+        return self.clusters[index]
+
+
+def paired_pools(
+    references: Sequence[str], copies_per_reference: Sequence[Sequence[str]]
+) -> StrandPool:
+    """Zip references with per-reference copy lists into a pool.
+
+    Raises:
+        ValueError: if the two sequences differ in length.
+    """
+    if len(references) != len(copies_per_reference):
+        raise ValueError(
+            f"{len(references)} references but {len(copies_per_reference)} "
+            "copy lists"
+        )
+    return StrandPool(
+        [
+            Cluster(reference, list(copies))
+            for reference, copies in zip(references, copies_per_reference)
+        ]
+    )

@@ -1,0 +1,40 @@
+"""Datasets: the synthetic Nanopore wetlab substitute, file IO in
+DNASimulator formats, and technology presets (Table 1.1)."""
+
+from repro.data.io import (
+    read_pool,
+    read_reads,
+    read_references,
+    write_pool,
+    write_reads,
+    write_references,
+)
+from repro.data.nanopore import (
+    NanoporeParameters,
+    ground_truth_coverage,
+    ground_truth_model,
+    make_nanopore_dataset,
+)
+from repro.data.technologies import (
+    SEQUENCING_TECHNOLOGIES,
+    SYNTHESIS_TECHNOLOGIES,
+    error_dictionary,
+    table_1_1_rows,
+)
+
+__all__ = [
+    "NanoporeParameters",
+    "SEQUENCING_TECHNOLOGIES",
+    "SYNTHESIS_TECHNOLOGIES",
+    "error_dictionary",
+    "ground_truth_coverage",
+    "ground_truth_model",
+    "make_nanopore_dataset",
+    "read_pool",
+    "read_reads",
+    "read_references",
+    "table_1_1_rows",
+    "write_pool",
+    "write_reads",
+    "write_references",
+]

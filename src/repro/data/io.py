@@ -1,0 +1,109 @@
+"""Dataset file IO in DNASimulator-compatible text formats.
+
+The paper's artifact inter-operates with DNASimulator's file layout
+(Appendix A), the de-facto interchange format for clustered DNA-storage
+datasets ("evyat" files)::
+
+    <reference strand>
+    *****************************
+    <noisy copy 1>
+    <noisy copy 2>
+    <blank line>
+    <blank line>
+
+plus a plain one-strand-per-line format for reference-only files.  Both
+are supported here, round-trip exactly, and are what the CLI reads and
+writes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.alphabet import validate_strand
+from repro.core.strand import Cluster, StrandPool
+
+#: Separator line between a reference strand and its cluster of copies.
+CLUSTER_SEPARATOR = "*" * 29
+
+
+def write_pool(pool: StrandPool, path: str | Path) -> None:
+    """Write a pseudo-clustered pool in evyat format."""
+    lines: list[str] = []
+    for cluster in pool:
+        lines.append(cluster.reference)
+        lines.append(CLUSTER_SEPARATOR)
+        lines.extend(cluster.copies)
+        lines.append("")
+        lines.append("")
+    Path(path).write_text("\n".join(lines), encoding="ascii")
+
+
+def read_pool(path: str | Path) -> StrandPool:
+    """Read a pseudo-clustered pool from an evyat-format file.
+
+    Raises:
+        ValueError: on malformed files (missing separator, invalid bases).
+    """
+    text = Path(path).read_text(encoding="ascii")
+    clusters: list[Cluster] = []
+    reference: str | None = None
+    copies: list[str] = []
+    expecting_separator = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            if reference is not None and not expecting_separator:
+                clusters.append(Cluster(reference, copies))
+                reference = None
+                copies = []
+            continue
+        if reference is None:
+            reference = validate_strand(line)
+            expecting_separator = True
+            continue
+        if expecting_separator:
+            if set(line) != {"*"}:
+                raise ValueError(
+                    f"line {line_number}: expected a separator of '*' "
+                    f"after reference, got {line[:20]!r}"
+                )
+            expecting_separator = False
+            continue
+        copies.append(validate_strand(line))
+    if reference is not None:
+        if expecting_separator:
+            raise ValueError("file ends after a reference with no separator")
+        clusters.append(Cluster(reference, copies))
+    return StrandPool(clusters)
+
+
+def write_references(references: list[str], path: str | Path) -> None:
+    """Write reference strands, one per line."""
+    for reference in references:
+        validate_strand(reference)
+    Path(path).write_text("\n".join(references) + "\n", encoding="ascii")
+
+
+def read_references(path: str | Path) -> list[str]:
+    """Read reference strands from a one-per-line file (blank lines are
+    skipped)."""
+    references = []
+    for line in Path(path).read_text(encoding="ascii").splitlines():
+        line = line.strip()
+        if line:
+            references.append(validate_strand(line))
+    return references
+
+
+def write_reads(reads: list[str], path: str | Path) -> None:
+    """Write an unordered read-out (one read per line) — the shape a real
+    sequencer produces before clustering."""
+    for read in reads:
+        validate_strand(read)
+    Path(path).write_text("\n".join(reads) + "\n", encoding="ascii")
+
+
+def read_reads(path: str | Path) -> list[str]:
+    """Read an unordered read-out file."""
+    return read_references(path)

@@ -1,0 +1,130 @@
+"""Synthesis and sequencing technology profiles (the paper's Table 1.1).
+
+These presets serve two purposes: the Table 1.1 experiment prints them
+verbatim, and DNASimulator-style baselines look up their precomputed error
+dictionaries by (synthesis, sequencing) technology pair — the paper notes
+that "a unique dictionary E is predetermined for each pair of synthesis
+and sequencing technology" (Section 2.2.1).
+
+Numeric ranges are those of Table 1.1; the per-base error dictionaries are
+plausible mid-range splits consistent with the literature the paper cites
+(synthesis errors dominated by deletions, sequencing errors by
+substitutions — Heckel et al., Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import BASES
+
+
+@dataclass(frozen=True)
+class SequencingTechnology:
+    """One column of Table 1.1."""
+
+    name: str
+    generation: str
+    cost_per_kb: str
+    error_rate: str
+    error_rate_typical: float
+    sequencing_length: str
+    read_speed_per_kb: str
+
+
+@dataclass(frozen=True)
+class SynthesisTechnology:
+    """A synthesis provider (Section 1.2 lists the widely used ones)."""
+
+    name: str
+    error_rate_typical: float
+    max_strand_length: int
+
+
+SEQUENCING_TECHNOLOGIES: dict[str, SequencingTechnology] = {
+    "sanger": SequencingTechnology(
+        name="Sanger",
+        generation="1st Gen.",
+        cost_per_kb="$1-2",
+        error_rate="0.001-0.01%",
+        error_rate_typical=0.00005,
+        sequencing_length="500bp",
+        read_speed_per_kb="10^-1 h",
+    ),
+    "illumina": SequencingTechnology(
+        name="Illumina",
+        generation="2nd Gen.",
+        cost_per_kb="$10^-5-10^-3",
+        error_rate="0.1-1%",
+        error_rate_typical=0.005,
+        sequencing_length="25-150 bp",
+        read_speed_per_kb="10^-7-10^-4 h",
+    ),
+    "nanopore": SequencingTechnology(
+        name="Nanopore",
+        generation="3rd Gen.",
+        cost_per_kb="$10^-4-10^-3",
+        error_rate="10%",
+        error_rate_typical=0.10,
+        sequencing_length="10^5 bp",
+        read_speed_per_kb="10^-7-10^-6 h",
+    ),
+}
+
+SYNTHESIS_TECHNOLOGIES: dict[str, SynthesisTechnology] = {
+    "twist": SynthesisTechnology("Twist Bioscience", 0.001, 300),
+    "customarray": SynthesisTechnology("CustomArray", 0.002, 200),
+    "idt": SynthesisTechnology("IDT", 0.0005, 400),
+}
+
+#: Error-type split applied to a technology pair's aggregate rate.
+#: Sequencing errors are substitution-dominated; synthesis errors are
+#: deletion-dominated (Heckel et al., Section 2.1).
+_SEQUENCING_SPLIT = {"substitution": 0.5, "deletion": 0.3, "insertion": 0.18,
+                     "long_deletion": 0.02}
+_SYNTHESIS_SPLIT = {"substitution": 0.2, "deletion": 0.65, "insertion": 0.1,
+                    "long_deletion": 0.05}
+
+
+def error_dictionary(
+    synthesis: str, sequencing: str
+) -> dict[str, dict[str, float]]:
+    """DNASimulator's precomputed error dictionary for a technology pair.
+
+    Returns per-base rates ``{base: {error_type: probability}}`` combining
+    the synthesis and sequencing contributions into the single-pass
+    injection the baseline performs (Section 2.2.1: "the errors introduced
+    at different stages are not modelled separately").
+
+    Raises:
+        KeyError: for an unknown technology name.
+    """
+    synthesis_profile = SYNTHESIS_TECHNOLOGIES[synthesis.lower()]
+    sequencing_profile = SEQUENCING_TECHNOLOGIES[sequencing.lower()]
+    dictionary: dict[str, dict[str, float]] = {}
+    for base in BASES:
+        rates = {}
+        for error_type in _SEQUENCING_SPLIT:
+            rates[error_type] = (
+                sequencing_profile.error_rate_typical * _SEQUENCING_SPLIT[error_type]
+                + synthesis_profile.error_rate_typical * _SYNTHESIS_SPLIT[error_type]
+            )
+        dictionary[base] = rates
+    return dictionary
+
+
+def table_1_1_rows() -> list[dict[str, str]]:
+    """The rows of Table 1.1, in paper order."""
+    rows = []
+    for key in ("sanger", "illumina", "nanopore"):
+        technology = SEQUENCING_TECHNOLOGIES[key]
+        rows.append(
+            {
+                "technology": f"{technology.generation} ({technology.name})",
+                "cost_per_kb": technology.cost_per_kb,
+                "error_rate": technology.error_rate,
+                "sequencing_length": technology.sequencing_length,
+                "read_speed_per_kb": technology.read_speed_per_kb,
+            }
+        )
+    return rows

@@ -1,0 +1,30 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+See DESIGN.md section 3 for the experiment index.  Every module exposes
+``run(n_clusters=None, verbose=True) -> dict`` (some take extra knobs,
+e.g. ``coverage``); the benchmarks in ``benchmarks/`` call these runners
+and assert the paper's qualitative result shapes.
+"""
+
+__all__ = [
+    "ablation",
+    "appendix_c",
+    "common",
+    "ext_reliability",
+    "ext_staged",
+    "ext_two_way",
+    "fig_3_2",
+    "fig_3_3",
+    "fig_3_4",
+    "fig_3_5",
+    "fig_3_6",
+    "fig_3_7",
+    "fig_3_8",
+    "fig_3_9",
+    "fig_3_10",
+    "table_1_1",
+    "table_2_1",
+    "table_2_2",
+    "table_3_1",
+    "table_3_2",
+]

@@ -1,0 +1,61 @@
+"""E-C — Appendix C: the full post-reconstruction panel grid.
+
+Appendix C.4 collects, for every dataset stage (real Nanopore, naive,
++cond+LD, +skew, +skew+second-order), the four post-reconstruction curves
+(Hamming and gestalt-aligned, for Iterative and BMA) at N = 5; C.1-C.3
+are the N = 6 variants of Figs. 3.4/3.5 and the second-order panels.
+This runner regenerates the whole grid at either coverage.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import SimulatorStage
+from repro.experiments.common import (
+    format_curve,
+    get_context,
+    paper_reconstructors,
+)
+from repro.metrics.curves import post_reconstruction_curves
+
+
+def run(
+    n_clusters: int | None = None,
+    coverage: int = 5,
+    verbose: bool = True,
+) -> dict:
+    """Reproduce the Appendix C panels at one coverage.
+
+    Returns {dataset label: {algorithm: (hamming, gestalt)}}.
+    """
+    context = get_context(n_clusters)
+    real = context.real_at_coverage(coverage)
+    references = real.references
+
+    pools = {"Real Nanopore": real}
+    for stage in SimulatorStage:
+        simulator = context.simulator_for_stage(stage, coverage)
+        pools[stage.label] = simulator.simulate(references)
+
+    grid: dict[str, dict[str, tuple[list[int], list[int]]]] = {}
+    for label, pool in pools.items():
+        grid[label] = {}
+        for reconstructor in paper_reconstructors():
+            estimates = reconstructor.reconstruct_pool(
+                pool, context.strand_length
+            )
+            grid[label][reconstructor.name] = post_reconstruction_curves(
+                pool, estimates
+            )
+
+    if verbose:
+        print(f"Appendix C: post-reconstruction panels at N = {coverage}")
+        for label, algorithms in grid.items():
+            print(f"  {label}:")
+            for algorithm, (hamming_curve, gestalt_curve) in algorithms.items():
+                print(f"    {algorithm} Hamming: {format_curve(hamming_curve)}")
+                print(f"    {algorithm} Gestalt: {format_curve(gestalt_curve)}")
+    return grid
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,125 @@
+"""E-X4 — retrieval reliability across sequencing-technology generations.
+
+The paper's closing motivation (Section 1.2): higher-throughput
+sequencing tends to be more error-prone, so "a user can be guaranteed a
+certain degree of success in retrieval of information regardless of
+future sequencing technologies" only if simulation can predict the
+coverage/redundancy each error regime needs.
+
+This experiment answers that question with the end-to-end archive: for a
+sweep of channel error rates (spanning Illumina-grade 0.5% to
+beyond-Nanopore 12%) and sequencing coverages, it stores a file, reads it
+back through the channel, and reports whether decoding succeeded and how
+much of the Reed-Solomon budget was consumed — yielding the minimum
+coverage per error regime.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ErrorModel, transition_biased_substitution_matrix
+from repro.core.spatial import TerminalSkew
+from repro.experiments.common import format_table
+from repro.pipeline.storage import ArchiveError, DNAArchive
+from repro.reconstruct.iterative import IterativeReconstruction
+
+#: (label, aggregate error rate) spanning Table 1.1's technology span.
+ERROR_REGIMES = (
+    ("Illumina-grade", 0.005),
+    ("mid-range", 0.02),
+    ("Nanopore-grade", 0.059),
+    ("beyond-Nanopore", 0.12),
+)
+
+COVERAGES = (2, 4, 6, 10, 16)
+PAYLOAD_BYTES = 600
+
+
+def channel_for_rate(error_rate: float) -> ErrorModel:
+    """A Nanopore-shaped channel (terminal skew, transition bias) scaled
+    to an aggregate error rate."""
+    base = ErrorModel(
+        insertion_rate=0.15,
+        deletion_rate=0.30,
+        substitution_rate=0.55,
+        substitution_matrix=transition_biased_substitution_matrix(),
+        spatial=TerminalSkew(start_boost=1.5, end_boost=4.0, decay=4.0),
+    )
+    return base.scaled(error_rate)
+
+
+def run(n_clusters: int | None = None, verbose: bool = True) -> dict:
+    """Run the reliability sweep.
+
+    ``n_clusters`` is accepted for harness uniformity (the workload here
+    is one archived file per cell, not a cluster count).
+
+    Returns {regime label: {coverage: fraction of RS budget consumed, or
+    None for failure}} plus the minimum working coverage per regime.
+    """
+    rng = random.Random(99)
+    payload = bytes(rng.randrange(256) for _ in range(PAYLOAD_BYTES))
+    reconstructor = IterativeReconstruction()
+
+    grid: dict[str, dict[int, float | None]] = {}
+    minimum_coverage: dict[str, int | None] = {}
+    for label, error_rate in ERROR_REGIMES:
+        channel = channel_for_rate(error_rate)
+        grid[label] = {}
+        minimum_coverage[label] = None
+        for coverage in COVERAGES:
+            archive = DNAArchive(
+                seed=7, rs_group_data=24, rs_group_parity=16
+            )
+            stored = archive.write("file", payload)
+            n_groups = -(-stored.n_data_strands // 24)  # ceil division
+            total_parity = 16 * n_groups
+            try:
+                report = archive.read(
+                    "file",
+                    channel_model=channel,
+                    coverage=coverage,
+                    reconstructor=reconstructor,
+                )
+            except ArchiveError:
+                grid[label][coverage] = None
+                continue
+            if report.data != payload:
+                grid[label][coverage] = None
+                continue
+            budget_used = report.n_erasures / total_parity
+            grid[label][coverage] = budget_used
+            if minimum_coverage[label] is None:
+                minimum_coverage[label] = coverage
+
+    result = {"grid": grid, "minimum_coverage": minimum_coverage}
+    if verbose:
+        print(
+            "Extension: retrieval reliability across sequencing error regimes"
+        )
+        print(
+            format_table(
+                ["Regime (error rate)"]
+                + [f"N={coverage}" for coverage in COVERAGES]
+                + ["min coverage"],
+                [
+                    [f"{label} ({rate * 100:.1f}%)"]
+                    + [
+                        (
+                            "FAIL"
+                            if grid[label][coverage] is None
+                            else f"{grid[label][coverage] * 100:.0f}% budget"
+                        )
+                        for coverage in COVERAGES
+                    ]
+                    + [minimum_coverage[label] or "-"]
+                    for label, rate in ERROR_REGIMES
+                ],
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,64 @@
+"""E-F3.4 — Fig. 3.4 (and Appendix C.1): post-reconstruction analysis of
+Nanopore data at N = 5 (and N = 6).
+
+Hamming and gestalt-aligned curves of BMA and Iterative reconstructions
+against the references.  Expected shapes: the Iterative Hamming curve is
+linear (one-directional error propagation); the BMA Hamming curve is
+A-shaped and symmetric (two-way execution propagates errors to the
+middle).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    format_curve,
+    get_context,
+    paper_reconstructors,
+)
+from repro.metrics.curves import post_reconstruction_curves
+
+
+def run(
+    n_clusters: int | None = None,
+    coverage: int = 5,
+    verbose: bool = True,
+) -> dict:
+    """Reproduce Fig. 3.4 (``coverage=6`` gives Appendix C.1).
+
+    Returns {algorithm: (hamming_curve, gestalt_curve)} plus shape
+    statistics used by the assertions in the benchmark harness.
+    """
+    context = get_context(n_clusters)
+    pool = context.real_at_coverage(coverage)
+    curves: dict[str, tuple[list[int], list[int]]] = {}
+    for reconstructor in paper_reconstructors():
+        estimates = reconstructor.reconstruct_pool(pool, context.strand_length)
+        curves[reconstructor.name] = post_reconstruction_curves(pool, estimates)
+
+    length = context.strand_length
+    iterative_hamming = curves["Iterative"][0][:length]
+    bma_hamming = curves["BMA"][0][:length]
+    third = length // 3
+    result = {
+        "curves": curves,
+        # Linear rise: last third of Iterative's curve carries more
+        # Hamming mass than its first third.
+        "iterative_rising": sum(iterative_hamming[-third:])
+        > sum(iterative_hamming[:third]),
+        # A-shape: BMA's middle third outweighs both outer thirds.
+        "bma_a_shaped": sum(bma_hamming[third : 2 * third])
+        > max(sum(bma_hamming[:third]), sum(bma_hamming[-third:])),
+    }
+    if verbose:
+        print(f"Fig 3.4: Post-reconstruction analysis of Nanopore data at N = {coverage}")
+        for algorithm, (hamming_curve, gestalt_curve) in curves.items():
+            print(f"  {algorithm}:")
+            print(f"    Hamming:         {format_curve(hamming_curve)}")
+            print(f"    Gestalt-aligned: {format_curve(gestalt_curve)}")
+        print(f"  Iterative Hamming curve rising: {result['iterative_rising']}")
+        print(f"  BMA Hamming curve A-shaped:     {result['bma_a_shaped']}")
+    return result
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,43 @@
+"""E-T1.1 — Table 1.1: comparison of DNA sequencing technologies.
+
+Prints the technology profiles the simulator presets are derived from
+(cost, error rate, sequencing length, read speed per generation).
+"""
+
+from __future__ import annotations
+
+from repro.data.technologies import table_1_1_rows
+from repro.experiments.common import format_table
+
+
+def run(verbose: bool = True) -> list[dict[str, str]]:
+    """Reproduce Table 1.1; returns the rows as dictionaries."""
+    rows = table_1_1_rows()
+    if verbose:
+        print("Table 1.1: Comparison of DNA sequencing technologies")
+        print(
+            format_table(
+                [
+                    "Sequencing technology",
+                    "Cost (per Kb)",
+                    "Error rate",
+                    "Sequencing length",
+                    "Read speed (per Kb)",
+                ],
+                [
+                    [
+                        row["technology"],
+                        row["cost_per_kb"],
+                        row["error_rate"],
+                        row["sequencing_length"],
+                        row["read_speed_per_kb"],
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+    return rows
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,88 @@
+"""E-T3.1 — Table 3.1: progressive simulator refinement at N = 5.
+
+The paper's central table: real Nanopore data versus four progressively
+refined simulators (naive; + conditional probabilities & long deletions;
++ spatial skew; + second-order errors), all parameters estimated from
+the data itself, reconstructed with BMA and Iterative at coverage 5.
+
+Expected shape (DESIGN.md section 4): every simulator overestimates
+accuracy; each added parameter moves BMA monotonically toward real; the
+three-position skew makes Iterative over-correct.
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import SimulatorStage
+from repro.experiments.common import (
+    format_table,
+    get_context,
+    paper_reconstructors,
+    percent,
+)
+from repro.metrics.accuracy import evaluate_reconstruction
+
+COVERAGE = 5
+
+
+def run(
+    n_clusters: int | None = None,
+    coverage: int = COVERAGE,
+    verbose: bool = True,
+) -> dict:
+    """Reproduce Table 3.1 (or 3.2 via ``coverage=6``).
+
+    Returns {row label: {algorithm: (per-strand, per-char)}}, with the
+    real dataset under the label ``"Nanopore"``.
+    """
+    context = get_context(n_clusters)
+    real = context.real_at_coverage(coverage)
+    references = real.references
+    reconstructors = paper_reconstructors()
+
+    results: dict[str, dict[str, tuple[float, float]]] = {}
+
+    def evaluate(label: str, pool) -> None:
+        cell = {}
+        for reconstructor in reconstructors:
+            report = evaluate_reconstruction(
+                pool, reconstructor, context.strand_length
+            )
+            cell[reconstructor.name] = (report.per_strand, report.per_character)
+        results[label] = cell
+
+    evaluate("Nanopore", real)
+    for stage in SimulatorStage:
+        simulator = context.simulator_for_stage(stage, coverage)
+        evaluate(stage.label, simulator.simulate(references))
+
+    if verbose:
+        print(
+            f"Table 3.{1 if coverage == 5 else 2}: Accuracy of TR algorithms "
+            f"at N = {coverage}"
+        )
+        print(
+            format_table(
+                [
+                    "Data",
+                    "BMA Per-Strand (%)",
+                    "BMA Per-Char (%)",
+                    "Iter Per-Strand (%)",
+                    "Iter Per-Char (%)",
+                ],
+                [
+                    [
+                        label,
+                        percent(cell["BMA"][0]),
+                        percent(cell["BMA"][1]),
+                        percent(cell["Iterative"][0]),
+                        percent(cell["Iterative"][1]),
+                    ]
+                    for label, cell in results.items()
+                ],
+            )
+        )
+    return results
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,24 @@
+"""E-T3.2 — Table 3.2: progressive simulator refinement at N = 6.
+
+Identical protocol to Table 3.1 at the paper's second reference coverage
+(the two coverages sit inside the steep region of Fig. 3.3 where
+reconstruction accuracy is most sensitive).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table_3_1
+
+COVERAGE = 6
+
+
+def run(n_clusters: int | None = None, verbose: bool = True) -> dict:
+    """Reproduce Table 3.2; same structure as
+    :func:`repro.experiments.table_3_1.run`."""
+    return table_3_1.run(
+        n_clusters=n_clusters, coverage=COVERAGE, verbose=verbose
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,40 @@
+"""Evaluation metrics: reconstruction accuracy, positional error curves,
+and distributional distances (Section 3.1)."""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    evaluate_reconstruction,
+    per_character_accuracy,
+    per_strand_accuracy,
+)
+from repro.metrics.curves import (
+    curve_summary,
+    gestalt_error_curve,
+    hamming_error_curve,
+    post_reconstruction_curves,
+    pre_reconstruction_curves,
+)
+from repro.metrics.distance import (
+    chi_square_distance,
+    mean_gestalt_score,
+    mean_normalized_edit_distance,
+    mean_normalized_hamming_distance,
+    positional_profile_distance,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "chi_square_distance",
+    "curve_summary",
+    "evaluate_reconstruction",
+    "gestalt_error_curve",
+    "hamming_error_curve",
+    "mean_gestalt_score",
+    "mean_normalized_edit_distance",
+    "mean_normalized_hamming_distance",
+    "per_character_accuracy",
+    "per_strand_accuracy",
+    "positional_profile_distance",
+    "post_reconstruction_curves",
+    "pre_reconstruction_curves",
+]

@@ -1,0 +1,115 @@
+"""Reconstruction-accuracy metrics: the paper's key evaluation criterion.
+
+Section 3.1 (metric 4) argues that a simulator should be judged by the
+difference in trace-reconstruction accuracy between simulated and real
+data, and defines:
+
+* **per-strand accuracy** — the percentage of reference strands
+  reconstructed without any error;
+* **per-character accuracy** — the percentage of reference characters
+  reconstructed with the correct base at the correct position.
+
+Erasure clusters (no copies) count as fully failed reconstructions: the
+strand was lost, so none of its characters were recovered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.strand import StrandPool
+from repro.reconstruct.base import Reconstructor
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Accuracy of one reconstruction run over a pool.
+
+    Percentages are in [0, 100], matching the paper's tables.
+    """
+
+    per_strand: float
+    per_character: float
+    n_clusters: int
+    n_perfect: int
+
+    def __str__(self) -> str:
+        return (
+            f"per-strand {self.per_strand:.2f}%  "
+            f"per-char {self.per_character:.2f}%  "
+            f"({self.n_perfect}/{self.n_clusters} strands perfect)"
+        )
+
+
+def per_strand_accuracy(
+    references: Sequence[str], estimates: Sequence[str]
+) -> float:
+    """Percentage of strands reconstructed exactly (paper definition)."""
+    if len(references) != len(estimates):
+        raise ValueError(
+            f"{len(references)} references but {len(estimates)} estimates"
+        )
+    if not references:
+        return 0.0
+    perfect = sum(
+        1
+        for reference, estimate in zip(references, estimates)
+        if reference == estimate
+    )
+    return 100.0 * perfect / len(references)
+
+
+def per_character_accuracy(
+    references: Sequence[str], estimates: Sequence[str]
+) -> float:
+    """Percentage of reference characters with the correct base at the
+    correct position in the estimate (paper definition)."""
+    if len(references) != len(estimates):
+        raise ValueError(
+            f"{len(references)} references but {len(estimates)} estimates"
+        )
+    total_characters = sum(len(reference) for reference in references)
+    if total_characters == 0:
+        return 0.0
+    correct = 0
+    for reference, estimate in zip(references, estimates):
+        shared = min(len(reference), len(estimate))
+        correct += sum(
+            1
+            for position in range(shared)
+            if reference[position] == estimate[position]
+        )
+    return 100.0 * correct / total_characters
+
+
+def evaluate_reconstruction(
+    pool: StrandPool,
+    reconstructor: Reconstructor,
+    strand_length: int | None = None,
+) -> AccuracyReport:
+    """Run a reconstructor over a pool and score it against the references.
+
+    Args:
+        pool: pseudo-clustered dataset.
+        reconstructor: the algorithm under test.
+        strand_length: design length; defaults to the first reference's
+            length (the paper's datasets have constant-length references).
+    """
+    if strand_length is None:
+        if not pool.clusters:
+            raise ValueError("cannot infer strand length from an empty pool")
+        strand_length = len(pool.clusters[0].reference)
+    estimates = reconstructor.reconstruct_pool(pool, strand_length)
+    references = pool.references
+    perfect = sum(
+        1
+        for reference, estimate in zip(references, estimates)
+        if reference == estimate
+    )
+    return AccuracyReport(
+        per_strand=per_strand_accuracy(references, estimates),
+        per_character=per_character_accuracy(references, estimates),
+        n_clusters=len(pool),
+        n_perfect=perfect,
+    )

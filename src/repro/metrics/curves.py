@@ -1,0 +1,118 @@
+"""Positional error curves: the Hamming and gestalt-aligned comparisons.
+
+Every figure in the paper's evaluation is one of these two curves:
+
+* the **Hamming comparison** (Fig. 3.2a, 3.4a/c, ...) marks every
+  position at which a strand differs from its reference — indels
+  propagate, so these curves show how errors *spread*;
+* the **gestalt-aligned comparison** (Fig. 3.2b, 3.4b/d, ...) marks only
+  the positions not covered by any gestalt matching block — the *sources*
+  of misalignment.
+
+Curves can be computed pre-reconstruction (every noisy copy against its
+reference) or post-reconstruction (each estimate against its reference).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.align.gestalt import gestalt_error_positions
+from repro.align.hamming import hamming_error_positions
+from repro.core.strand import StrandPool
+
+
+def _accumulate(
+    positions_per_pair: Sequence[list[int]], length: int
+) -> list[int]:
+    curve = [0] * length
+    for positions in positions_per_pair:
+        for position in positions:
+            if position < length:
+                curve[position] += 1
+            else:
+                curve.extend([0] * (position - length + 1))
+                curve[position] += 1
+                length = len(curve)
+    return curve
+
+
+def hamming_error_curve(
+    references: Sequence[str], others: Sequence[str]
+) -> list[int]:
+    """Positional histogram of Hamming errors over all (reference, other)
+    pairs.  The curve may be longer than the reference length when copies
+    overshoot it (the paper's curves drop sharply after position 110)."""
+    if len(references) != len(others):
+        raise ValueError(f"{len(references)} references but {len(others)} strands")
+    length = max((len(reference) for reference in references), default=0)
+    return _accumulate(
+        [
+            hamming_error_positions(reference, other)
+            for reference, other in zip(references, others)
+        ],
+        length,
+    )
+
+
+def gestalt_error_curve(
+    references: Sequence[str], others: Sequence[str]
+) -> list[int]:
+    """Positional histogram of gestalt-aligned errors (misalignment
+    sources) over all pairs."""
+    if len(references) != len(others):
+        raise ValueError(f"{len(references)} references but {len(others)} strands")
+    length = max((len(reference) for reference in references), default=0)
+    return _accumulate(
+        [
+            gestalt_error_positions(reference, other)
+            for reference, other in zip(references, others)
+        ],
+        length,
+    )
+
+
+def pre_reconstruction_curves(
+    pool: StrandPool, max_copies_per_cluster: int | None = None
+) -> tuple[list[int], list[int]]:
+    """(Hamming, gestalt) curves of raw noisy copies against references —
+    the paper's Fig. 3.2 analysis of dataset noise."""
+    references: list[str] = []
+    copies: list[str] = []
+    for cluster in pool:
+        cluster_copies = cluster.copies
+        if max_copies_per_cluster is not None:
+            cluster_copies = cluster_copies[:max_copies_per_cluster]
+        for copy in cluster_copies:
+            references.append(cluster.reference)
+            copies.append(copy)
+    return (
+        hamming_error_curve(references, copies),
+        gestalt_error_curve(references, copies),
+    )
+
+
+def post_reconstruction_curves(
+    pool: StrandPool, estimates: Sequence[str]
+) -> tuple[list[int], list[int]]:
+    """(Hamming, gestalt) curves of reconstruction estimates against
+    references — the paper's Fig. 3.4/3.5/3.7/3.10 analyses."""
+    references = pool.references
+    return (
+        hamming_error_curve(references, estimates),
+        gestalt_error_curve(references, estimates),
+    )
+
+
+def curve_summary(curve: Sequence[int], bins: int = 11) -> list[int]:
+    """Downsample a positional curve into ``bins`` coarse bins (for compact
+    textual display of figure series)."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if not curve:
+        return [0] * bins
+    summary = [0] * bins
+    for position, value in enumerate(curve):
+        bin_index = min(position * bins // len(curve), bins - 1)
+        summary[bin_index] += value
+    return summary

@@ -1,0 +1,100 @@
+"""The end-to-end storage pipeline: codecs, error correction, physical
+processes, and the archival store (Fig. 1.1)."""
+
+from repro.pipeline.decay import DecayParameters, StorageDecay
+from repro.pipeline.fountain import (
+    Droplet,
+    FountainDecodeError,
+    FountainDecoder,
+    FountainEncoder,
+    fountain_decode,
+    fountain_encode,
+    robust_soliton,
+)
+from repro.pipeline.fountain_archive import (
+    FountainArchive,
+    FountainArchiveError,
+    FountainFile,
+)
+from repro.pipeline.encoding import (
+    Basic2BitCodec,
+    Codec,
+    CodecError,
+    GCBalancedCodec,
+    RotationCodec,
+    get_codec,
+)
+from repro.pipeline.pcr import AmplifiedPool, PCRAmplifier, PCRParameters
+from repro.pipeline.primers import (
+    PrimerDesignError,
+    generate_primer_library,
+    is_valid_primer,
+    match_primer,
+)
+from repro.pipeline.reed_solomon import ReedSolomon, ReedSolomonError
+from repro.pipeline.stages import (
+    StagedChannel,
+    StageReport,
+    default_sequencing_model,
+    default_staged_channel,
+    default_synthesis_model,
+)
+from repro.pipeline.storage import (
+    ArchiveError,
+    DNAArchive,
+    RetrievalReport,
+    StoredFile,
+)
+from repro.pipeline.synthesis import StrandLayout, StrandParseError, crc8
+from repro.pipeline.xor_redundancy import (
+    XorRecoveryError,
+    decode_groups,
+    encode_groups,
+    xor_bytes,
+)
+
+__all__ = [
+    "AmplifiedPool",
+    "ArchiveError",
+    "Basic2BitCodec",
+    "Codec",
+    "CodecError",
+    "DNAArchive",
+    "DecayParameters",
+    "Droplet",
+    "FountainArchive",
+    "FountainArchiveError",
+    "FountainDecodeError",
+    "FountainDecoder",
+    "FountainEncoder",
+    "FountainFile",
+    "GCBalancedCodec",
+    "PCRAmplifier",
+    "PCRParameters",
+    "PrimerDesignError",
+    "ReedSolomon",
+    "ReedSolomonError",
+    "RetrievalReport",
+    "RotationCodec",
+    "StageReport",
+    "StagedChannel",
+    "StorageDecay",
+    "StoredFile",
+    "StrandLayout",
+    "StrandParseError",
+    "XorRecoveryError",
+    "crc8",
+    "decode_groups",
+    "default_sequencing_model",
+    "default_staged_channel",
+    "default_synthesis_model",
+    "encode_groups",
+    "fountain_decode",
+    "fountain_encode",
+    "generate_primer_library",
+    "get_codec",
+    "is_valid_primer",
+    "match_primer",
+    "robust_soliton",
+    "xor_bytes",
+]

@@ -1,0 +1,87 @@
+"""Storage decay: strand loss and base damage over archival time.
+
+DNA targets storage over hundreds of years (Section 1.2), but strands
+decay: backbone breaks destroy whole molecules, and chemical damage
+corrupts individual bases — cytosine deamination (C read as T) being the
+dominant mechanism in aged DNA.  Heckel et al. list decay among the
+channel's error sources ("during storage, DNA strands might decay, or be
+lost", Section 2.1); MESA models it explicitly, DNASimulator not at all
+(Section 2.2.3).
+
+The model: strand survival is exponential in time with a configurable
+half-life; surviving strands accumulate per-base damage at a rate
+proportional to elapsed time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecayParameters:
+    """Knobs of the storage-decay model.
+
+    Attributes:
+        half_life_years: time for half the molecules to be lost.  Grass
+            et al. measured centuries-scale half-lives for DNA in silica;
+            the default is deliberately conservative.
+        deamination_rate_per_year: per-base probability per year of a
+            C -> T (or G -> A on the complementary strand) read-through.
+    """
+
+    half_life_years: float = 500.0
+    deamination_rate_per_year: float = 2e-5
+
+    def survival_probability(self, years: float) -> float:
+        """Probability a single molecule survives ``years`` intact."""
+        if years < 0:
+            raise ValueError(f"years must be non-negative, got {years}")
+        return math.exp(-math.log(2.0) * years / self.half_life_years)
+
+
+#: Deamination read-through: C is read as T, G as A (complement strand).
+_DEAMINATION = {"C": "T", "G": "A"}
+
+
+class StorageDecay:
+    """Applies archival-time decay to a pool of physical strands."""
+
+    def __init__(
+        self,
+        parameters: DecayParameters | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.parameters = parameters or DecayParameters()
+        self.rng = rng if rng is not None else random.Random()
+
+    def age_strand(self, strand: str, years: float) -> str | None:
+        """Age one molecule; returns None if the molecule is lost."""
+        survival = self.parameters.survival_probability(years)
+        if self.rng.random() > survival:
+            return None
+        damage_rate = min(
+            1.0, self.parameters.deamination_rate_per_year * years
+        )
+        if damage_rate <= 0:
+            return strand
+        aged = []
+        for base in strand:
+            if base in _DEAMINATION and self.rng.random() < damage_rate:
+                aged.append(_DEAMINATION[base])
+            else:
+                aged.append(base)
+        return "".join(aged)
+
+    def age_pool(
+        self, strands: Sequence[str], years: float
+    ) -> list[str | None]:
+        """Age every molecule of a pool; lost molecules become None."""
+        return [self.age_strand(strand, years) for strand in strands]
+
+    def expected_loss_fraction(self, years: float) -> float:
+        """Expected fraction of molecules lost after ``years``."""
+        return 1.0 - self.parameters.survival_probability(years)

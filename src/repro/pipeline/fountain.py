@@ -1,0 +1,237 @@
+"""Luby-Transform fountain code (the DNA Fountain scheme of Erlich &
+Zielinski, cited in Section 1.1.3).
+
+Fountain codes generate a practically unlimited stream of *droplets* —
+random XOR combinations of source chunks — any sufficiently large subset
+of which recovers the data.  For DNA storage this is attractive because
+strand erasures are the dominant failure (Section 1.1.3): the decoder
+simply ignores lost droplets, and the encoder can tune physical
+redundancy continuously instead of in code-rate steps.
+
+Implementation: standard LT with the robust soliton degree distribution
+and a peeling (belief-propagation) decoder.  Droplet seeds travel with
+the droplet (as they do inside DNA Fountain's strand layout), so the
+decoder can re-derive each droplet's neighbour set.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.pipeline.xor_redundancy import xor_bytes
+
+
+class FountainDecodeError(RuntimeError):
+    """Raised when the received droplets cannot recover the data."""
+
+
+def robust_soliton(
+    n_chunks: int, c: float = 0.1, delta: float = 0.05
+) -> list[float]:
+    """The robust soliton degree distribution over degrees 1..n_chunks.
+
+    Returns a probability vector ``p`` with ``p[d-1] = P(degree = d)``.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n_chunks == 1:
+        return [1.0]
+    # Ideal soliton rho(d).
+    rho = [0.0] * n_chunks
+    rho[0] = 1.0 / n_chunks
+    for degree in range(2, n_chunks + 1):
+        rho[degree - 1] = 1.0 / (degree * (degree - 1))
+    # Robust addition tau(d).
+    ripple = c * math.log(n_chunks / delta) * math.sqrt(n_chunks)
+    ripple = max(1.0, min(ripple, float(n_chunks)))
+    threshold = max(1, int(round(n_chunks / ripple)))
+    tau = [0.0] * n_chunks
+    for degree in range(1, threshold):
+        tau[degree - 1] = ripple / (degree * n_chunks)
+    tau[threshold - 1] = ripple * math.log(ripple / delta) / n_chunks
+    total = sum(rho) + sum(tau)
+    return [(r + t) / total for r, t in zip(rho, tau)]
+
+
+@dataclass(frozen=True)
+class Droplet:
+    """One fountain droplet: a seed (which determines the neighbour set)
+    and the XOR of the selected source chunks."""
+
+    seed: int
+    payload: bytes
+
+
+def _neighbours(
+    seed: int, n_chunks: int, distribution: list[float]
+) -> list[int]:
+    """Chunk indices a droplet with ``seed`` combines (deterministic)."""
+    rng = random.Random(seed)
+    point = rng.random()
+    cumulative = 0.0
+    degree = n_chunks
+    for index, probability in enumerate(distribution):
+        cumulative += probability
+        if point < cumulative:
+            degree = index + 1
+            break
+    return rng.sample(range(n_chunks), degree)
+
+
+class FountainEncoder:
+    """Generates droplets over fixed-size source chunks.
+
+    Args:
+        chunks: equal-length source chunks.
+        seed: stream seed; droplet ``i`` of two encoders with the same
+            seed and chunks is identical.
+    """
+
+    def __init__(self, chunks: list[bytes], seed: int = 0) -> None:
+        if not chunks:
+            raise ValueError("need at least one source chunk")
+        length = len(chunks[0])
+        if any(len(chunk) != length for chunk in chunks):
+            raise ValueError("all chunks must have equal length")
+        self.chunks = list(chunks)
+        self.distribution = robust_soliton(len(chunks))
+        self._rng = random.Random(seed)
+
+    def droplet(self, seed: int | None = None) -> Droplet:
+        """Produce one droplet (with a fresh seed unless one is given)."""
+        if seed is None:
+            seed = self._rng.getrandbits(32)
+        payload = None
+        for index in _neighbours(seed, len(self.chunks), self.distribution):
+            payload = (
+                self.chunks[index]
+                if payload is None
+                else xor_bytes(payload, self.chunks[index])
+            )
+        assert payload is not None  # degree >= 1 always
+        return Droplet(seed, payload)
+
+    def droplets(self, count: int) -> list[Droplet]:
+        """Produce ``count`` droplets."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.droplet() for _ in range(count)]
+
+
+class FountainDecoder:
+    """Peeling decoder: repeatedly resolves degree-one droplets.
+
+    Args:
+        n_chunks: number of source chunks.
+        chunk_size: chunk length in bytes.
+    """
+
+    def __init__(self, n_chunks: int, chunk_size: int) -> None:
+        if n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        self.n_chunks = n_chunks
+        self.chunk_size = chunk_size
+        self.distribution = robust_soliton(n_chunks)
+        self._recovered: dict[int, bytes] = {}
+        # Pending droplets: list of (set of unresolved neighbours, payload).
+        self._pending: list[tuple[set[int], bytes]] = []
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every source chunk is recovered."""
+        return len(self._recovered) == self.n_chunks
+
+    def add_droplet(self, droplet: Droplet) -> None:
+        """Feed one droplet and propagate any newly resolvable chunks."""
+        if len(droplet.payload) != self.chunk_size:
+            raise ValueError(
+                f"droplet payload has {len(droplet.payload)} bytes, "
+                f"expected {self.chunk_size}"
+            )
+        neighbours = set(
+            _neighbours(droplet.seed, self.n_chunks, self.distribution)
+        )
+        payload = droplet.payload
+        for index in list(neighbours):
+            if index in self._recovered:
+                payload = xor_bytes(payload, self._recovered[index])
+                neighbours.discard(index)
+        if not neighbours:
+            return
+        self._pending.append((neighbours, payload))
+        self._peel()
+
+    def _peel(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            still_pending: list[tuple[set[int], bytes]] = []
+            for neighbours, payload in self._pending:
+                unresolved = {
+                    index
+                    for index in neighbours
+                    if index not in self._recovered
+                }
+                for index in neighbours - unresolved:
+                    payload = xor_bytes(payload, self._recovered[index])
+                if len(unresolved) == 0:
+                    progressed = True  # fully absorbed
+                elif len(unresolved) == 1:
+                    index = next(iter(unresolved))
+                    self._recovered[index] = payload
+                    progressed = True
+                else:
+                    still_pending.append((unresolved, payload))
+            self._pending = still_pending
+
+    def data(self) -> bytes:
+        """The concatenated source chunks.
+
+        Raises:
+            FountainDecodeError: if decoding is incomplete.
+        """
+        if not self.is_complete:
+            missing = self.n_chunks - len(self._recovered)
+            raise FountainDecodeError(
+                f"{missing} of {self.n_chunks} chunks unresolved — "
+                "feed more droplets"
+            )
+        return b"".join(
+            self._recovered[index] for index in range(self.n_chunks)
+        )
+
+
+def fountain_encode(
+    data: bytes, chunk_size: int, overhead: float = 0.4, seed: int = 0
+) -> tuple[list[Droplet], int]:
+    """Convenience: chunk ``data`` and emit droplets with given overhead.
+
+    Returns:
+        ``(droplets, n_chunks)`` — the decoder needs ``n_chunks`` and the
+        chunk size to reconstruct.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = []
+    for start in range(0, len(data), chunk_size):
+        chunk = data[start : start + chunk_size]
+        if len(chunk) < chunk_size:
+            chunk = chunk + bytes(chunk_size - len(chunk))
+        chunks.append(chunk)
+    encoder = FountainEncoder(chunks, seed)
+    count = max(len(chunks) + 4, int(math.ceil(len(chunks) * (1 + overhead))))
+    return encoder.droplets(count), len(chunks)
+
+
+def fountain_decode(
+    droplets: list[Droplet], n_chunks: int, chunk_size: int, data_length: int
+) -> bytes:
+    """Convenience: decode droplets back into the original data."""
+    decoder = FountainDecoder(n_chunks, chunk_size)
+    for droplet in droplets:
+        decoder.add_droplet(droplet)
+        if decoder.is_complete:
+            break
+    return decoder.data()[:data_length]

@@ -1,0 +1,204 @@
+"""A DNA Fountain-style archive: LT droplets as strands.
+
+The alternative storage architecture of Erlich & Zielinski (Section
+1.1.3): instead of indexing strands and protecting them with a
+block code, each strand *is* a fountain droplet — a seed plus an XOR of
+source chunks.  Strand losses cost nothing specific: the decoder just
+consumes whichever droplets survive, and durability is tuned continuously
+through the droplet overhead.
+
+Strand layout::
+
+    [ primer | codec( seed(4B) + payload(kB) + crc8(1B) ) ]
+
+The CRC discards mis-reconstructed droplets — a corrupted droplet would
+poison the peeling decoder, so detection matters more here than in the
+Reed-Solomon archive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.channel import Channel
+from repro.core.coverage import ConstantCoverage, CoverageModel
+from repro.core.errors import ErrorModel
+from repro.pipeline.encoding import Basic2BitCodec, Codec, CodecError
+from repro.pipeline.fountain import (
+    Droplet,
+    FountainDecodeError,
+    FountainDecoder,
+    FountainEncoder,
+)
+from repro.pipeline.synthesis import crc8
+from repro.reconstruct.base import Reconstructor
+from repro.reconstruct.bma import BMALookahead
+
+#: Bytes of droplet seed carried per strand.
+SEED_BYTES = 4
+
+
+class FountainArchiveError(RuntimeError):
+    """Raised when a stored file cannot be recovered."""
+
+
+@dataclass
+class FountainFile:
+    """Bookkeeping for one fountain-encoded file."""
+
+    key: str
+    n_chunks: int
+    chunk_size: int
+    data_length: int
+    strands: list[str]
+    strand_length: int
+
+
+class FountainArchive:
+    """A fountain-coded DNA store.
+
+    Args:
+        codec: bytes <-> bases codec for strand bodies.
+        chunk_size: source-chunk (and droplet payload) size in bytes.
+        overhead: droplet overhead factor — 1.2 emits 2.2x as many
+            droplets as chunks.  LT peeling at DNA-storage chunk counts
+            (tens to hundreds) needs roughly 2x the chunks for reliable
+            decoding; raise the overhead further to tolerate strand loss
+            on top.
+        seed: archive-level randomness seed.
+    """
+
+    def __init__(
+        self,
+        codec: Codec | None = None,
+        chunk_size: int = 16,
+        overhead: float = 1.2,
+        seed: int | None = 0,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if overhead < 0:
+            raise ValueError(f"overhead must be non-negative, got {overhead}")
+        self.codec = codec if codec is not None else Basic2BitCodec()
+        self.chunk_size = chunk_size
+        self.overhead = overhead
+        self.rng = random.Random(seed)
+        self.files: dict[str, FountainFile] = {}
+
+    # ---------------------------------------------------------------- #
+    # Write path
+    # ---------------------------------------------------------------- #
+
+    def write(self, key: str, data: bytes) -> FountainFile:
+        """Encode ``data`` as fountain-droplet strands.
+
+        Raises:
+            ValueError: for duplicate keys or empty data.
+        """
+        if key in self.files:
+            raise ValueError(f"key {key!r} already stored")
+        if not data:
+            raise ValueError("cannot store an empty file")
+        chunks = []
+        for start in range(0, len(data), self.chunk_size):
+            chunk = data[start : start + self.chunk_size]
+            chunks.append(chunk + bytes(self.chunk_size - len(chunk)))
+        encoder = FountainEncoder(chunks, seed=self.rng.getrandbits(32))
+        n_droplets = max(
+            len(chunks) + 10, int(round(len(chunks) * (1 + self.overhead)))
+        )
+        strands = [
+            self._droplet_to_strand(encoder.droplet())
+            for _ in range(n_droplets)
+        ]
+        stored = FountainFile(
+            key=key,
+            n_chunks=len(chunks),
+            chunk_size=self.chunk_size,
+            data_length=len(data),
+            strands=strands,
+            strand_length=len(strands[0]),
+        )
+        self.files[key] = stored
+        return stored
+
+    def _droplet_to_strand(self, droplet: Droplet) -> str:
+        message = droplet.seed.to_bytes(SEED_BYTES, "big") + droplet.payload
+        message += bytes([crc8(message)])
+        return self.codec.encode(message)
+
+    def _strand_to_droplet(self, strand: str) -> Droplet | None:
+        try:
+            message = self.codec.decode(strand)
+        except CodecError:
+            return None
+        if len(message) != SEED_BYTES + self.chunk_size + 1:
+            return None
+        content, checksum = message[:-1], message[-1]
+        if crc8(content) != checksum:
+            return None
+        seed = int.from_bytes(content[:SEED_BYTES], "big")
+        return Droplet(seed, content[SEED_BYTES:])
+
+    # ---------------------------------------------------------------- #
+    # Read path
+    # ---------------------------------------------------------------- #
+
+    def read(
+        self,
+        key: str,
+        channel_model: ErrorModel | None = None,
+        coverage: CoverageModel | int = 8,
+        reconstructor: Reconstructor | None = None,
+        strand_loss_rate: float = 0.0,
+    ) -> bytes:
+        """Recover a file through the noisy pipeline.
+
+        Args:
+            key: the file to read.
+            channel_model: sequencing error model (None = noiseless).
+            coverage: reads per surviving strand.
+            reconstructor: trace-reconstruction algorithm (default BMA).
+            strand_loss_rate: fraction of strands lost outright before
+                sequencing (erasures — the failure mode fountain codes
+                absorb gracefully).
+
+        Raises:
+            KeyError: unknown key.
+            FountainArchiveError: too few droplets survived.
+        """
+        stored = self.files[key]
+        if not 0.0 <= strand_loss_rate <= 1.0:
+            raise ValueError(
+                f"strand_loss_rate must be in [0, 1], got {strand_loss_rate}"
+            )
+        reconstructor = reconstructor or BMALookahead()
+        coverage_model = (
+            coverage
+            if isinstance(coverage, CoverageModel)
+            else ConstantCoverage(coverage)
+        )
+        coverages = coverage_model.draw(len(stored.strands), self.rng)
+
+        decoder = FountainDecoder(stored.n_chunks, stored.chunk_size)
+        for strand, n_copies in zip(stored.strands, coverages):
+            if decoder.is_complete:
+                break
+            if self.rng.random() < strand_loss_rate or n_copies == 0:
+                continue
+            if channel_model is None:
+                estimate = strand
+            else:
+                channel = Channel(channel_model, self.rng)
+                reads = channel.transmit_many(strand, n_copies)
+                estimate = reconstructor.reconstruct(
+                    reads, stored.strand_length
+                )
+            droplet = self._strand_to_droplet(estimate)
+            if droplet is not None:
+                decoder.add_droplet(droplet)
+        try:
+            return decoder.data()[: stored.data_length]
+        except FountainDecodeError as error:
+            raise FountainArchiveError(str(error)) from error

@@ -1,0 +1,122 @@
+"""Arithmetic over GF(2^8) — the field under Reed-Solomon coding.
+
+The field is constructed from the primitive polynomial
+x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for RS(255, k)
+codes.  Multiplication and division go through logarithm/antilogarithm
+tables built once at import time; addition is XOR.
+"""
+
+from __future__ import annotations
+
+#: The primitive polynomial defining the field (degree-8 terms stripped).
+PRIMITIVE_POLYNOMIAL = 0x11D
+
+#: The field's multiplicative generator.
+GENERATOR = 2
+
+_EXP = [0] * 512  # doubled so products of logs never need a modulo
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLYNOMIAL
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_add(first: int, second: int) -> int:
+    """Addition in GF(2^8) (XOR; identical to subtraction)."""
+    return first ^ second
+
+
+def gf_mul(first: int, second: int) -> int:
+    """Multiplication in GF(2^8)."""
+    if first == 0 or second == 0:
+        return 0
+    return _EXP[_LOG[first] + _LOG[second]]
+
+
+def gf_div(numerator: int, denominator: int) -> int:
+    """Division in GF(2^8).
+
+    Raises:
+        ZeroDivisionError: if ``denominator`` is zero.
+    """
+    if denominator == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if numerator == 0:
+        return 0
+    return _EXP[(_LOG[numerator] - _LOG[denominator]) % 255]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """Exponentiation in GF(2^8); 0**0 is defined as 1."""
+    if exponent == 0:
+        return 1
+    if base == 0:
+        return 0
+    return _EXP[(_LOG[base] * exponent) % 255]
+
+
+def gf_inverse(value: int) -> int:
+    """Multiplicative inverse.
+
+    Raises:
+        ZeroDivisionError: for zero, which has no inverse.
+    """
+    if value == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[value]]
+
+
+# --------------------------------------------------------------------- #
+# Polynomial helpers (coefficient lists, lowest degree last — index 0 is
+# the highest-degree coefficient, matching the RS literature's layout).
+# --------------------------------------------------------------------- #
+
+
+def poly_scale(polynomial: list[int], scalar: int) -> list[int]:
+    """Multiply every coefficient by a scalar."""
+    return [gf_mul(coefficient, scalar) for coefficient in polynomial]
+
+
+def poly_add(first: list[int], second: list[int]) -> list[int]:
+    """Add two polynomials."""
+    result = [0] * max(len(first), len(second))
+    offset_first = len(result) - len(first)
+    for index, coefficient in enumerate(first):
+        result[index + offset_first] = coefficient
+    offset_second = len(result) - len(second)
+    for index, coefficient in enumerate(second):
+        result[index + offset_second] ^= coefficient
+    return result
+
+
+def poly_mul(first: list[int], second: list[int]) -> list[int]:
+    """Multiply two polynomials."""
+    result = [0] * (len(first) + len(second) - 1)
+    for index_first, coefficient_first in enumerate(first):
+        if coefficient_first == 0:
+            continue
+        for index_second, coefficient_second in enumerate(second):
+            result[index_first + index_second] ^= gf_mul(
+                coefficient_first, coefficient_second
+            )
+    return result
+
+
+def poly_eval(polynomial: list[int], point: int) -> int:
+    """Evaluate a polynomial at ``point`` with Horner's scheme."""
+    value = 0
+    for coefficient in polynomial:
+        value = gf_mul(value, point) ^ coefficient
+    return value

@@ -1,0 +1,100 @@
+"""Primer design for PCR-based random access (Section 1.1.1).
+
+Yazdi et al. and Bornholt et al. model the DNA store as a key-value
+store: each key maps to a unique 20-base *primer*, prepended to every
+strand of the key's file, and PCR selectively amplifies strands carrying
+a chosen primer.  For that to work the primer library must satisfy
+biochemical constraints:
+
+* GC-ratio near 50% (stability, Section 1.2);
+* no homopolymer runs (sequencing reliability);
+* large pairwise edit distance (so a noisy primer is still attributed to
+  the right key and cross-amplification is unlikely).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.align.edit_distance import edit_distance_banded
+from repro.core.alphabet import gc_content, longest_homopolymer, random_strand
+
+#: Conventional primer length (Section 1.1.1: "a unique sequence of 20 bases").
+PRIMER_LENGTH = 20
+
+
+class PrimerDesignError(RuntimeError):
+    """Raised when a primer library of the requested size cannot be built."""
+
+
+def is_valid_primer(
+    candidate: str,
+    gc_low: float = 0.4,
+    gc_high: float = 0.6,
+    max_homopolymer: int = 2,
+) -> bool:
+    """Check the biochemical constraints for one primer candidate."""
+    return (
+        gc_low <= gc_content(candidate) <= gc_high
+        and longest_homopolymer(candidate) <= max_homopolymer
+    )
+
+
+def generate_primer_library(
+    count: int,
+    rng: random.Random,
+    length: int = PRIMER_LENGTH,
+    min_distance: int = 8,
+    max_attempts_per_primer: int = 2_000,
+) -> list[str]:
+    """Generate ``count`` mutually distant, biochemically valid primers.
+
+    Rejection sampling: random candidates are filtered by the validity
+    constraints and by minimum edit distance to all accepted primers.
+
+    Raises:
+        PrimerDesignError: if the library cannot be filled (constraints
+            too tight for the requested count).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    library: list[str] = []
+    attempts = 0
+    budget = max_attempts_per_primer * max(count, 1)
+    while len(library) < count:
+        attempts += 1
+        if attempts > budget:
+            raise PrimerDesignError(
+                f"could not build {count} primers of length {length} with "
+                f"min_distance {min_distance} (got {len(library)})"
+            )
+        candidate = random_strand(length, rng)
+        if not is_valid_primer(candidate):
+            continue
+        if all(
+            edit_distance_banded(candidate, accepted, min_distance - 1)
+            >= min_distance
+            for accepted in library
+        ):
+            library.append(candidate)
+    return library
+
+
+def match_primer(
+    read_prefix: str, library: Iterable[str], max_distance: int = 4
+) -> str | None:
+    """Attribute a (possibly noisy) read prefix to a library primer.
+
+    Returns the closest primer within ``max_distance`` edits, or None if
+    no primer is close enough (the read is treated as foreign).  Ties go
+    to the earlier library entry for determinism.
+    """
+    best_primer: str | None = None
+    best_distance = max_distance + 1
+    for primer in library:
+        distance = edit_distance_banded(read_prefix, primer, best_distance - 1)
+        if distance < best_distance:
+            best_distance = distance
+            best_primer = primer
+    return best_primer

@@ -1,0 +1,272 @@
+"""Reed-Solomon codes over GF(256) with errors-and-erasures decoding.
+
+Logical redundancy for DNA storage (Section 1.1.3): RS codes correct both
+*corruptions* (a strand reconstructed with wrong content — an error at an
+unknown location) and *erasures* (a strand known to be missing — a known
+location), with the classic budget 2 * errors + erasures <= n - k.
+
+The implementation is the textbook pipeline — generator-polynomial
+systematic encoding, syndrome computation, Berlekamp-Massey (with erasure
+initialisation via the erasure locator), Chien search, Forney's formula —
+written for clarity over raw speed; DNA-storage strands are short enough
+that this is never a bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.gf256 import (
+    GENERATOR,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_eval,
+    poly_mul,
+)
+
+
+class ReedSolomonError(ValueError):
+    """Raised when decoding fails (too many errors for the code)."""
+
+
+class ReedSolomon:
+    """An RS(n, k) code over GF(256).
+
+    Args:
+        n_parity: number of parity symbols (n - k).  The code corrects
+            up to ``n_parity // 2`` unknown errors, or any mix with
+            2 * errors + erasures <= n_parity.
+
+    Codewords are ``bytes`` of length <= 255 (data plus parity).
+    """
+
+    def __init__(self, n_parity: int) -> None:
+        if not 1 <= n_parity <= 254:
+            raise ValueError(f"n_parity must be in [1, 254], got {n_parity}")
+        self.n_parity = n_parity
+        self._generator_poly = self._build_generator(n_parity)
+
+    @staticmethod
+    def _build_generator(n_parity: int) -> list[int]:
+        generator = [1]
+        for power in range(n_parity):
+            generator = poly_mul(generator, [1, gf_pow(GENERATOR, power)])
+        return generator
+
+    # ---------------------------------------------------------------- #
+    # Encoding
+    # ---------------------------------------------------------------- #
+
+    def encode(self, data: bytes) -> bytes:
+        """Systematic encoding: returns ``data + parity``.
+
+        Raises:
+            ValueError: if the codeword would exceed 255 symbols.
+        """
+        if len(data) + self.n_parity > 255:
+            raise ValueError(
+                f"codeword too long: {len(data)} data + {self.n_parity} "
+                "parity > 255"
+            )
+        message = list(data) + [0] * self.n_parity
+        remainder = list(message)
+        for index in range(len(data)):
+            coefficient = remainder[index]
+            if coefficient == 0:
+                continue
+            for offset, generator_coefficient in enumerate(self._generator_poly):
+                remainder[index + offset] ^= gf_mul(
+                    generator_coefficient, coefficient
+                )
+        parity = remainder[len(data) :]
+        return bytes(data) + bytes(parity)
+
+    # ---------------------------------------------------------------- #
+    # Decoding
+    # ---------------------------------------------------------------- #
+
+    def decode(
+        self, codeword: bytes, erasure_positions: list[int] | None = None
+    ) -> bytes:
+        """Correct a codeword, returning the data portion.
+
+        Args:
+            codeword: received word (data + parity, as produced by
+                :meth:`encode`, possibly corrupted).
+            erasure_positions: indices into ``codeword`` known to be
+                unreliable (e.g. strands lost to failed PCR).  Erasure
+                values are ignored; each costs half an error.
+
+        Raises:
+            ReedSolomonError: if the error/erasure budget is exceeded.
+        """
+        erasure_positions = list(erasure_positions or [])
+        if len(erasure_positions) > self.n_parity:
+            raise ReedSolomonError(
+                f"{len(erasure_positions)} erasures exceed "
+                f"{self.n_parity} parity symbols"
+            )
+        received = list(codeword)
+        length = len(received)
+        for position in erasure_positions:
+            if not 0 <= position < length:
+                raise ValueError(f"erasure position {position} out of range")
+            received[position] = 0
+
+        syndromes = self._syndromes(received)
+        if max(syndromes) == 0:
+            return bytes(received[: length - self.n_parity])
+
+        # Position i carries the coefficient of x^(length-1-i), so its
+        # locator is X_i = alpha^(length-1-i).
+        erasure_locators = [
+            gf_pow(GENERATOR, length - 1 - position)
+            for position in erasure_positions
+        ]
+        error_locator = self._berlekamp_massey(syndromes, erasure_locators)
+        error_positions = self._chien_search(error_locator, length)
+        if error_positions is None:
+            raise ReedSolomonError("error locator does not factor; too many errors")
+
+        corrected = self._forney(received, syndromes, error_locator, error_positions)
+        if max(self._syndromes(corrected)) != 0:
+            raise ReedSolomonError("correction failed; too many errors")
+        return bytes(corrected[: length - self.n_parity])
+
+    def check(self, codeword: bytes) -> bool:
+        """True if the codeword is a valid (zero-syndrome) RS word."""
+        return max(self._syndromes(list(codeword))) == 0
+
+    # -- internals ----------------------------------------------------- #
+
+    def _syndromes(self, received: list[int]) -> list[int]:
+        return [
+            poly_eval(received, gf_pow(GENERATOR, power))
+            for power in range(self.n_parity)
+        ]
+
+    def _berlekamp_massey(
+        self, syndromes: list[int], erasure_locators: list[int]
+    ) -> list[int]:
+        """Errors-and-erasures Berlekamp-Massey.
+
+        Polynomials are lowest-degree-first.  The locator is seeded with
+        the erasure locator Gamma(x) = prod (1 - X_i x) and the iteration
+        starts after the erasure steps (standard Blahut formulation); the
+        result Lambda(x) has the inverses of all error/erasure locators as
+        its roots.
+        """
+        locator = [1]
+        for erasure in erasure_locators:
+            # (1 - X_i x) == (1 + X_i x) in characteristic 2, low-first.
+            locator = self._poly_mul_low(locator, [1, erasure])
+        n_erasures = len(erasure_locators)
+        correction = list(locator)  # B(x)
+        current_length = n_erasures  # L
+        shift = 1  # m: steps since B was last updated
+        last_delta = 1  # b
+        for step in range(n_erasures, self.n_parity):
+            delta = syndromes[step]
+            for degree in range(1, min(len(locator), step + 1)):
+                delta ^= gf_mul(locator[degree], syndromes[step - degree])
+            if delta == 0:
+                shift += 1
+                continue
+            shifted = [0] * shift + [
+                gf_mul(coefficient, gf_div(delta, last_delta))
+                for coefficient in correction
+            ]
+            if 2 * current_length <= step + n_erasures:
+                previous_locator = list(locator)
+                locator = self._poly_add_low(locator, shifted)
+                current_length = step + n_erasures + 1 - current_length
+                correction = previous_locator
+                last_delta = delta
+                shift = 1
+            else:
+                locator = self._poly_add_low(locator, shifted)
+                shift += 1
+        return locator
+
+    @staticmethod
+    def _poly_mul_low(first: list[int], second: list[int]) -> list[int]:
+        result = [0] * (len(first) + len(second) - 1)
+        for index_first, coefficient_first in enumerate(first):
+            if coefficient_first == 0:
+                continue
+            for index_second, coefficient_second in enumerate(second):
+                result[index_first + index_second] ^= gf_mul(
+                    coefficient_first, coefficient_second
+                )
+        return result
+
+    @staticmethod
+    def _poly_add_low(first: list[int], second: list[int]) -> list[int]:
+        result = [0] * max(len(first), len(second))
+        for index, coefficient in enumerate(first):
+            result[index] ^= coefficient
+        for index, coefficient in enumerate(second):
+            result[index] ^= coefficient
+        return result
+
+    def _chien_search(
+        self, locator: list[int], length: int
+    ) -> list[int] | None:
+        """Roots of the locator -> error positions in the codeword.
+
+        ``locator`` is lowest-degree-first; its roots are the inverse
+        locators X_i^-1 = alpha^-(length-1-i).
+        """
+        degree = len(locator) - 1
+        while degree > 0 and locator[degree] == 0:
+            degree -= 1
+        if degree > self.n_parity:
+            return None
+        positions = []
+        for position in range(length):
+            point = gf_pow(GENERATOR, (-(length - 1 - position)) % 255)
+            value = 0
+            for power, coefficient in enumerate(locator):
+                value ^= gf_mul(coefficient, gf_pow(point, power))
+            if value == 0:
+                positions.append(position)
+        if len(positions) != degree:
+            return None
+        return positions
+
+    def _forney(
+        self,
+        received: list[int],
+        syndromes: list[int],
+        locator: list[int],
+        positions: list[int],
+    ) -> list[int]:
+        """Error magnitudes via Forney's formula; returns the corrected word."""
+        length = len(received)
+        # Error evaluator: omega(x) = [S(x) * Lambda(x)] mod x^n_parity,
+        # with S(x) = sum syndromes[i] * x^i (low-first).
+        product = self._poly_mul_low(syndromes, locator)
+        evaluator = product[: self.n_parity]
+        # Formal derivative of the locator (characteristic 2: odd terms
+        # survive, each shifted down one degree).
+        derivative = [
+            coefficient if power % 2 == 1 else 0
+            for power, coefficient in enumerate(locator)
+        ][1:]
+        corrected = list(received)
+        for position in positions:
+            # X_k = alpha^(length-1-position); Forney (fcr = 0):
+            # e_k = X_k * omega(X_k^-1) / Lambda'(X_k^-1).
+            x_k = gf_pow(GENERATOR, length - 1 - position)
+            inverse_root = gf_inverse(x_k)
+            numerator = 0
+            for power, coefficient in enumerate(evaluator):
+                numerator ^= gf_mul(coefficient, gf_pow(inverse_root, power))
+            denominator = 0
+            for power, coefficient in enumerate(derivative):
+                denominator ^= gf_mul(coefficient, gf_pow(inverse_root, power))
+            if denominator == 0:
+                raise ReedSolomonError("Forney denominator vanished")
+            magnitude = gf_mul(x_k, gf_div(numerator, denominator))
+            corrected[position] ^= magnitude
+        return corrected

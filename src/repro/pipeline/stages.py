@@ -1,0 +1,221 @@
+"""Multi-stage composable channel simulation.
+
+The paper names this its key limitation (Section 4.2): "it does not
+separately model the errors introduced at each stage of the DNA storage
+pipeline; it uses aggregate statistics across all stages.  An ideal
+simulator should allow for a multi-stage, composable simulation process."
+
+:class:`StagedChannel` is that ideal: a pipeline of physically distinct
+stages —
+
+1. **synthesis** — an IDS channel applied once per designed strand
+   (deletion-dominated in practice, Section 2.1);
+2. **PCR amplification** — sequence-biased branching growth that sets
+   the copy-number distribution and injects rare polymerase
+   substitutions (:mod:`repro.pipeline.pcr`);
+3. **storage decay** — molecule loss plus deamination damage over
+   archival years (:mod:`repro.pipeline.decay`);
+4. **sequencing** — an IDS channel applied per sampled read
+   (substitution-dominated, with terminal skew for Nanopore).
+
+Each stage is independently configurable or omissible; the output is a
+pseudo-clustered :class:`~repro.core.strand.StrandPool`, directly
+comparable with the single-stage simulators.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.channel import Channel
+from repro.core.errors import ErrorModel
+from repro.core.strand import Cluster, StrandPool
+from repro.pipeline.decay import StorageDecay
+from repro.pipeline.pcr import PCRAmplifier
+from repro.core.spatial import TerminalSkew
+
+
+def default_synthesis_model() -> ErrorModel:
+    """A deletion-dominated synthesis channel (Heckel et al.: synthesis
+    errors are dominated by deletions; error rates grow toward strand
+    ends, Section 1.2)."""
+    return ErrorModel(
+        insertion_rate=0.0002,
+        deletion_rate=0.001,
+        substitution_rate=0.0003,
+        spatial=TerminalSkew(start_boost=1.0, end_boost=3.0, decay=6.0),
+    )
+
+
+def default_sequencing_model() -> ErrorModel:
+    """A substitution-dominated Nanopore-grade sequencing channel."""
+    from repro.core.errors import transition_biased_substitution_matrix
+
+    return ErrorModel(
+        insertion_rate=0.005,
+        deletion_rate=0.009,
+        substitution_rate=0.018,
+        substitution_matrix=transition_biased_substitution_matrix(),
+        long_deletion_rate=0.002,
+        spatial=TerminalSkew(start_boost=1.5, end_boost=4.0, decay=4.0),
+    )
+
+
+@dataclass
+class StageReport:
+    """Bookkeeping from one staged simulation run."""
+
+    synthesized: int
+    molecules_after_pcr: int
+    molecules_after_decay: int
+    reads: int
+    erasures: int
+
+
+class StagedChannel:
+    """Composable synthesis -> PCR -> decay -> sequencing simulation.
+
+    Args:
+        synthesis: IDS model applied once per designed strand (None
+            disables the stage — strands synthesise perfectly).
+        pcr: PCR amplifier (None skips amplification; each strand then
+            contributes exactly one molecule).
+        pcr_cycles: thermal cycles when ``pcr`` is given.
+        decay: storage-decay model (None disables).
+        storage_years: archival time for the decay stage.
+        sequencing: IDS model applied per sampled read (None disables).
+        reads_per_strand: target mean sequencing coverage; actual
+            per-cluster coverage follows molecule abundance after
+            PCR/decay — the mechanism that produces the skewed coverage
+            distributions of Section 2.1.
+        rng: shared randomness for all stages.
+    """
+
+    def __init__(
+        self,
+        synthesis: ErrorModel | None = None,
+        pcr: PCRAmplifier | None = None,
+        pcr_cycles: int = 8,
+        decay: StorageDecay | None = None,
+        storage_years: float = 0.0,
+        sequencing: ErrorModel | None = None,
+        reads_per_strand: float = 10.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if reads_per_strand <= 0:
+            raise ValueError(
+                f"reads_per_strand must be positive, got {reads_per_strand}"
+            )
+        self.rng = rng if rng is not None else random.Random()
+        self.synthesis = synthesis
+        self.pcr = pcr
+        self.pcr_cycles = pcr_cycles
+        self.decay = decay
+        self.storage_years = storage_years
+        self.sequencing = sequencing
+        self.reads_per_strand = reads_per_strand
+        self.last_report: StageReport | None = None
+
+    def simulate(self, references: Sequence[str]) -> StrandPool:
+        """Run every configured stage; returns a pseudo-clustered pool."""
+        # Stage 1: synthesis — one physical molecule per design.
+        if self.synthesis is not None:
+            synthesis_channel = Channel(self.synthesis, self.rng)
+            molecules = [
+                synthesis_channel.transmit(reference)
+                for reference in references
+            ]
+        else:
+            molecules = list(references)
+
+        # Stage 2: PCR — per-strand populations with sequence bias.
+        if self.pcr is not None:
+            amplified = self.pcr.amplify(molecules, cycles=self.pcr_cycles)
+            populations: list[list[tuple[str, int]]] = amplified.molecules
+        else:
+            populations = [[(molecule, 1)] for molecule in molecules]
+        molecules_after_pcr = sum(
+            count for variants in populations for _seq, count in variants
+        )
+
+        # Stage 3: decay — thin each population binomially.
+        if self.decay is not None and self.storage_years > 0:
+            survival = self.decay.parameters.survival_probability(
+                self.storage_years
+            )
+            decayed: list[list[tuple[str, int]]] = []
+            for variants in populations:
+                surviving: list[tuple[str, int]] = []
+                for sequence, count in variants:
+                    kept = sum(
+                        1 for _ in range(count) if self.rng.random() < survival
+                    ) if count <= 64 else max(0, round(count * survival))
+                    if kept:
+                        aged = self.decay.age_strand(sequence, 0.0)
+                        surviving.append((aged if aged else sequence, kept))
+                decayed.append(surviving)
+            populations = decayed
+        molecules_after_decay = sum(
+            count for variants in populations for _seq, count in variants
+        )
+
+        # Stage 4: sequencing — sample reads proportional to abundance.
+        total_molecules = molecules_after_decay
+        n_reads_target = int(round(self.reads_per_strand * len(references)))
+        sequencing_channel = (
+            Channel(self.sequencing, self.rng)
+            if self.sequencing is not None
+            else None
+        )
+        clusters = [Cluster(reference) for reference in references]
+        reads = 0
+        if total_molecules > 0:
+            # Flatten abundances once for proportional sampling.
+            flat: list[tuple[int, str, int]] = []
+            for index, variants in enumerate(populations):
+                for sequence, count in variants:
+                    flat.append((index, sequence, count))
+            for _ in range(n_reads_target):
+                point = self.rng.randrange(total_molecules)
+                cumulative = 0
+                for index, sequence, count in flat:
+                    cumulative += count
+                    if point < cumulative:
+                        read = (
+                            sequencing_channel.transmit(sequence)
+                            if sequencing_channel is not None
+                            else sequence
+                        )
+                        if read:
+                            clusters[index].add_copy(read)
+                            reads += 1
+                        break
+
+        pool = StrandPool(clusters)
+        self.last_report = StageReport(
+            synthesized=len(references),
+            molecules_after_pcr=molecules_after_pcr,
+            molecules_after_decay=molecules_after_decay,
+            reads=reads,
+            erasures=pool.erasure_count,
+        )
+        return pool
+
+
+def default_staged_channel(
+    seed: int | None = 0, reads_per_strand: float = 10.0
+) -> StagedChannel:
+    """A fully configured staged channel with paper-plausible defaults."""
+    rng = random.Random(seed)
+    return StagedChannel(
+        synthesis=default_synthesis_model(),
+        pcr=PCRAmplifier(rng=rng),
+        pcr_cycles=8,
+        decay=StorageDecay(rng=rng),
+        storage_years=10.0,
+        sequencing=default_sequencing_model(),
+        reads_per_strand=reads_per_strand,
+        rng=rng,
+    )

@@ -1,0 +1,306 @@
+"""An end-to-end DNA archival store (Fig. 1.1's full pipeline).
+
+:class:`DNAArchive` composes every subsystem in this repository into the
+write-store-read loop of Section 1.1:
+
+1. **encode** — file bytes are chunked into per-strand payloads; an outer
+   Reed-Solomon code across strands adds parity strands (logical
+   redundancy); each strand gets a primer, an index, and a CRC
+   (:mod:`repro.pipeline.synthesis`);
+2. **synthesise/store** — strands join the pool; optional storage decay
+   loses molecules over archival years;
+3. **retrieve** — PCR selects and amplifies the file's primer; the
+   sequencing channel (any :class:`~repro.core.errors.ErrorModel`) draws
+   noisy reads at a chosen coverage;
+4. **cluster + reconstruct** — reads are grouped (pseudo or greedy
+   clustering) and a trace-reconstruction algorithm produces one strand
+   estimate per cluster;
+5. **decode** — estimates are parsed (CRC failures become erasures),
+   reassembled by index, and the outer RS code corrects erasures and
+   corruptions to return the original bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.channel import Channel
+from repro.core.coverage import ConstantCoverage, CoverageModel
+from repro.core.errors import ErrorModel
+from repro.pipeline.decay import StorageDecay
+from repro.pipeline.encoding import Basic2BitCodec, Codec
+from repro.pipeline.primers import generate_primer_library
+from repro.pipeline.reed_solomon import ReedSolomon, ReedSolomonError
+from repro.pipeline.synthesis import StrandLayout, StrandParseError
+from repro.reconstruct.base import Reconstructor
+from repro.reconstruct.bma import BMALookahead
+
+
+class ArchiveError(RuntimeError):
+    """Raised when a file cannot be recovered from the pool."""
+
+
+@dataclass
+class StoredFile:
+    """Bookkeeping for one written file."""
+
+    key: str
+    layout: StrandLayout
+    data_length: int
+    n_data_strands: int
+    n_total_strands: int
+    strands: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RetrievalReport:
+    """Diagnostics from one read-back."""
+
+    data: bytes
+    n_reads: int
+    n_clusters_used: int
+    n_erasures: int
+    n_corrected_errors: int
+
+
+class DNAArchive:
+    """A key-value DNA archival store.
+
+    Args:
+        codec: payload codec (defaults to the 2-bit codec).
+        payload_bytes: payload bytes per strand.
+        rs_group_data: data strands per Reed-Solomon group (k).
+        rs_group_parity: parity strands per group (n - k); the archive
+            survives up to that many strand erasures per group, or half
+            as many silent corruptions.
+        seed: seed for primer design and retrieval randomness.
+    """
+
+    def __init__(
+        self,
+        codec: Codec | None = None,
+        payload_bytes: int = 16,
+        rs_group_data: int = 32,
+        rs_group_parity: int = 8,
+        seed: int | None = 0,
+    ) -> None:
+        if rs_group_data < 1 or rs_group_data + rs_group_parity > 255:
+            raise ValueError(
+                "rs_group_data must be >= 1 and group size <= 255, got "
+                f"{rs_group_data}+{rs_group_parity}"
+            )
+        self.codec = codec if codec is not None else Basic2BitCodec()
+        self.payload_bytes = payload_bytes
+        self.rs_group_data = rs_group_data
+        self.rs_group_parity = rs_group_parity
+        self._reed_solomon = ReedSolomon(rs_group_parity)
+        self.rng = random.Random(seed)
+        self._primer_pool: list[str] = []
+        self.files: dict[str, StoredFile] = {}
+
+    # ---------------------------------------------------------------- #
+    # Write path
+    # ---------------------------------------------------------------- #
+
+    def write(self, key: str, data: bytes) -> StoredFile:
+        """Encode ``data`` into strands under ``key`` and store them.
+
+        Raises:
+            ValueError: for duplicate keys or empty data.
+        """
+        if key in self.files:
+            raise ValueError(f"key {key!r} already stored")
+        if not data:
+            raise ValueError("cannot store an empty file")
+        primer = self._next_primer()
+        layout = StrandLayout(primer, self.codec, self.payload_bytes)
+
+        chunks = self._chunk(data)
+        strands: list[str] = []
+        index = 0
+        for group_start in range(0, len(chunks), self.rs_group_data):
+            group = chunks[group_start : group_start + self.rs_group_data]
+            for chunk in self._add_parity(group):
+                strands.append(layout.build(index, chunk))
+                index += 1
+        stored = StoredFile(
+            key=key,
+            layout=layout,
+            data_length=len(data),
+            n_data_strands=len(chunks),
+            n_total_strands=len(strands),
+            strands=strands,
+        )
+        self.files[key] = stored
+        return stored
+
+    def _chunk(self, data: bytes) -> list[bytes]:
+        chunks = []
+        for start in range(0, len(data), self.payload_bytes):
+            chunk = data[start : start + self.payload_bytes]
+            if len(chunk) < self.payload_bytes:
+                chunk = chunk + bytes(self.payload_bytes - len(chunk))
+            chunks.append(chunk)
+        return chunks
+
+    def _add_parity(self, group: list[bytes]) -> list[bytes]:
+        """RS-encode each byte column across the group's strands."""
+        rs = ReedSolomon(self.rs_group_parity)
+        columns = []
+        for byte_position in range(self.payload_bytes):
+            column = bytes(chunk[byte_position] for chunk in group)
+            columns.append(rs.encode(column))
+        n_total = len(group) + self.rs_group_parity
+        return [
+            bytes(columns[byte_position][strand_position]
+                  for byte_position in range(self.payload_bytes))
+            for strand_position in range(n_total)
+        ]
+
+    def _next_primer(self) -> str:
+        if not self._primer_pool:
+            self._primer_pool = generate_primer_library(
+                count=8, rng=self.rng, min_distance=8
+            )
+        return self._primer_pool.pop()
+
+    # ---------------------------------------------------------------- #
+    # Read path
+    # ---------------------------------------------------------------- #
+
+    def all_strands(self) -> list[str]:
+        """Every physical strand in the pool (all files mixed)."""
+        strands: list[str] = []
+        for stored in self.files.values():
+            strands.extend(stored.strands)
+        return strands
+
+    def read(
+        self,
+        key: str,
+        channel_model: ErrorModel | None = None,
+        coverage: CoverageModel | int = 8,
+        reconstructor: Reconstructor | None = None,
+        decay: StorageDecay | None = None,
+        storage_years: float = 0.0,
+    ) -> RetrievalReport:
+        """Retrieve a file through the full noisy pipeline.
+
+        Args:
+            key: the file to retrieve.
+            channel_model: sequencing-channel error model (None = a
+                noiseless channel; pass a fitted Nanopore model for
+                realism).
+            coverage: reads per strand (int or a coverage model).
+            reconstructor: trace-reconstruction algorithm (default: BMA).
+            decay: optional storage-decay model applied before reading.
+            storage_years: archival time for the decay model.
+
+        Raises:
+            KeyError: unknown key.
+            ArchiveError: unrecoverable corruption (RS budget exceeded).
+        """
+        stored = self.files[key]
+        strands: list[str | None] = list(stored.strands)
+        if decay is not None and storage_years > 0:
+            strands = decay.age_pool(stored.strands, storage_years)
+
+        coverage_model = (
+            coverage
+            if isinstance(coverage, CoverageModel)
+            else ConstantCoverage(coverage)
+        )
+        reconstructor = reconstructor or BMALookahead()
+
+        # Sequencing: noisy reads per surviving strand (pseudo-clustered;
+        # the paper's evaluation setting, Section 3.1).
+        coverages = coverage_model.draw(len(strands), self.rng)
+        estimates: list[str | None] = []
+        n_reads = 0
+        n_clusters_used = 0
+        strand_length = stored.layout.strand_length()
+        for strand, n_copies in zip(strands, coverages):
+            if strand is None or n_copies == 0:
+                estimates.append(None)
+                continue
+            if channel_model is None:
+                reads = [strand] * n_copies
+            else:
+                channel = Channel(channel_model, self.rng)
+                reads = channel.transmit_many(strand, n_copies)
+            n_reads += len(reads)
+            n_clusters_used += 1
+            estimates.append(reconstructor.reconstruct(reads, strand_length))
+
+        # Parse estimates; CRC failures and losses become erasures.
+        payload_by_index: dict[int, bytes] = {}
+        for estimate in estimates:
+            if not estimate:
+                continue
+            try:
+                index, payload = stored.layout.parse(estimate)
+            except StrandParseError:
+                continue
+            if 0 <= index < stored.n_total_strands:
+                payload_by_index.setdefault(index, payload)
+
+        data, n_erasures, n_corrected = self._decode_groups(
+            stored, payload_by_index
+        )
+        return RetrievalReport(
+            data=data[: stored.data_length],
+            n_reads=n_reads,
+            n_clusters_used=n_clusters_used,
+            n_erasures=n_erasures,
+            n_corrected_errors=n_corrected,
+        )
+
+    def _decode_groups(
+        self, stored: StoredFile, payload_by_index: dict[int, bytes]
+    ) -> tuple[bytes, int, int]:
+        data = bytearray()
+        n_erasures = 0
+        n_corrected = 0
+        index = 0
+        remaining_data = stored.n_data_strands
+        while remaining_data > 0:
+            k = min(self.rs_group_data, remaining_data)
+            group_indices = list(range(index, index + k + self.rs_group_parity))
+            erasure_rows = [
+                row
+                for row, strand_index in enumerate(group_indices)
+                if strand_index not in payload_by_index
+            ]
+            n_erasures += len(erasure_rows)
+            if len(erasure_rows) > self.rs_group_parity:
+                raise ArchiveError(
+                    f"group at strand {index}: {len(erasure_rows)} erasures "
+                    f"exceed {self.rs_group_parity} parity strands"
+                )
+            group_payloads = [
+                payload_by_index.get(strand_index, bytes(self.payload_bytes))
+                for strand_index in group_indices
+            ]
+            decoded_chunks = [bytearray() for _ in range(k)]
+            for byte_position in range(self.payload_bytes):
+                column = bytes(
+                    payload[byte_position] for payload in group_payloads
+                )
+                try:
+                    corrected = self._reed_solomon.decode(
+                        column, erasure_positions=erasure_rows
+                    )
+                except ReedSolomonError as error:
+                    raise ArchiveError(
+                        f"group at strand {index}, byte {byte_position}: {error}"
+                    ) from error
+                if corrected != column[: len(corrected)]:
+                    n_corrected += 1
+                for row in range(k):
+                    decoded_chunks[row].append(corrected[row])
+            for chunk in decoded_chunks:
+                data.extend(chunk)
+            index += k + self.rs_group_parity
+            remaining_data -= k
+        return bytes(data), n_erasures, n_corrected

@@ -1,0 +1,21 @@
+"""Trace-reconstruction algorithms (Section 1.1.2 and 3.1)."""
+
+from repro.reconstruct.base import Reconstructor, majority_symbol
+from repro.reconstruct.bma import BMALookahead, bma_forward_pass
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.majority import PositionalMajority
+from repro.reconstruct.msa import StarMSAConsensus
+from repro.reconstruct.two_way import TwoWayIterative
+
+__all__ = [
+    "BMALookahead",
+    "DividerBMA",
+    "IterativeReconstruction",
+    "PositionalMajority",
+    "Reconstructor",
+    "StarMSAConsensus",
+    "TwoWayIterative",
+    "bma_forward_pass",
+    "majority_symbol",
+]

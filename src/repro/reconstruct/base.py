@@ -1,0 +1,56 @@
+"""Common interface for trace-reconstruction algorithms.
+
+A DNA reconstruction algorithm receives the m noisy copies of a cluster
+and produces an estimate of the original strand, aiming to minimise the
+distance between the two (Section 1.1.2).  All algorithms here know the
+design length L — DNA-storage strands have a fixed designed length, and
+every published algorithm the paper evaluates exploits that.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.core.strand import Cluster, StrandPool
+
+
+class Reconstructor(ABC):
+    """Reconstructs a strand estimate from a cluster of noisy copies."""
+
+    #: Display name used in experiment tables.
+    name: str = "reconstructor"
+
+    @abstractmethod
+    def reconstruct(self, copies: Sequence[str], strand_length: int) -> str:
+        """Estimate the original strand of ``strand_length`` bases.
+
+        Args:
+            copies: the noisy copies of one cluster.  May be empty (an
+                erasure); implementations must return ``""`` in that case.
+            strand_length: the designed strand length L.
+        """
+
+    def reconstruct_cluster(self, cluster: Cluster, strand_length: int) -> str:
+        """Reconstruct from a :class:`Cluster` (ignores its reference)."""
+        return self.reconstruct(cluster.copies, strand_length)
+
+    def reconstruct_pool(self, pool: StrandPool, strand_length: int) -> list[str]:
+        """Reconstruct every cluster of a pool, in order."""
+        return [
+            self.reconstruct(cluster.copies, strand_length) for cluster in pool
+        ]
+
+
+def majority_symbol(symbols: Sequence[str]) -> str:
+    """Plurality vote over single characters.
+
+    Ties are broken toward the lexicographically smallest symbol so
+    reconstruction is deterministic for a given cluster.
+    """
+    if not symbols:
+        raise ValueError("cannot take a majority of zero symbols")
+    counts = Counter(symbols)
+    best_count = max(counts.values())
+    return min(symbol for symbol, count in counts.items() if count == best_count)

@@ -1,0 +1,32 @@
+"""Per-position plurality voting, with no alignment at all.
+
+The simplest possible consensus: position i of the estimate is the
+plurality vote of position i across all copies.  Insertions and deletions
+shift every downstream base of a copy, so this baseline degrades quickly
+on IDS channels — it exists as the control that motivates alignment-aware
+algorithms (all of Section 1.1.2's algorithms "require consensus or
+majority voting for each position").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.reconstruct.base import Reconstructor, majority_symbol
+
+
+class PositionalMajority(Reconstructor):
+    """Unaligned per-position majority vote."""
+
+    name = "Majority"
+
+    def reconstruct(self, copies: Sequence[str], strand_length: int) -> str:
+        if not copies:
+            return ""
+        estimate = []
+        for position in range(strand_length):
+            symbols = [copy[position] for copy in copies if position < len(copy)]
+            if not symbols:
+                break
+            estimate.append(majority_symbol(symbols))
+        return "".join(estimate)

@@ -1,0 +1,22 @@
+"""Figure/report generation: a dependency-free SVG renderer plus an HTML
+report that regenerates every table and figure of the paper."""
+
+from repro.report.charts import (
+    bar_chart,
+    curve_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+from repro.report.report import ReportBuilder, generate_report
+from repro.report.svg import PALETTE, SVGCanvas
+
+__all__ = [
+    "PALETTE",
+    "ReportBuilder",
+    "SVGCanvas",
+    "bar_chart",
+    "curve_chart",
+    "generate_report",
+    "grouped_bar_chart",
+    "line_chart",
+]

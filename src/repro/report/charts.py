@@ -1,0 +1,168 @@
+"""Chart builders over the SVG canvas: the figure shapes the paper uses.
+
+Three chart types cover every figure in the evaluation:
+
+* :func:`line_chart` — accuracy-vs-coverage series (Fig. 3.3) and
+  positional error curves (Figs. 3.2, 3.4, 3.5, 3.7, 3.8, 3.10);
+* :func:`bar_chart` — per-position histograms (Fig. 3.6, Fig. 3.9);
+* :func:`grouped_bar_chart` — table visualisations (Tables 2.x/3.x).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.report.svg import PALETTE, SVGCanvas
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round a positive value up to a visually clean axis limit."""
+    if value <= 0:
+        return 1.0
+    magnitude = 1.0
+    while value > 10.0:
+        value /= 10.0
+        magnitude *= 10.0
+    while value <= 1.0:
+        value *= 10.0
+        magnitude /= 10.0
+    for candidate in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if value <= candidate:
+            return candidate * magnitude
+    return 10.0 * magnitude
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 360,
+    y_max: float | None = None,
+) -> str:
+    """Render named (x, y) series as colour-coded polylines.
+
+    Returns the SVG document string.
+    """
+    canvas = SVGCanvas(width=width, height=height)
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        canvas.set_ranges((0, 1), (0, 1))
+        canvas.axes(x_label, y_label)
+        if title:
+            canvas.title(title)
+        return canvas.render()
+    x_values = [x for x, _y in all_points]
+    y_values = [y for _x, y in all_points]
+    upper = y_max if y_max is not None else _nice_ceiling(max(y_values) * 1.05)
+    canvas.set_ranges((min(x_values), max(x_values)), (0.0, upper))
+    canvas.axes(
+        x_label,
+        y_label,
+        y_format="{:.0f}" if upper >= 5 else "{:.2f}",
+    )
+    if title:
+        canvas.title(title)
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        canvas.polyline(sorted(points), color)
+        legend.append((name, color))
+    if len(legend) > 1:
+        canvas.legend(legend)
+    return canvas.render()
+
+
+def curve_chart(
+    curves: Mapping[str, Sequence[int | float]],
+    title: str = "",
+    x_label: str = "position in strand",
+    y_label: str = "errors",
+    width: int = 640,
+    height: int = 320,
+) -> str:
+    """Positional error curves: index -> count, one polyline per curve."""
+    series = {
+        name: [(float(position), float(value)) for position, value in enumerate(curve)]
+        for name, curve in curves.items()
+    }
+    return line_chart(
+        series, title=title, x_label=x_label, y_label=y_label,
+        width=width, height=height,
+    )
+
+
+def bar_chart(
+    values: Sequence[float],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 320,
+    color: str = PALETTE[0],
+) -> str:
+    """A single histogram as bars indexed 0..n-1."""
+    canvas = SVGCanvas(width=width, height=height)
+    if not values:
+        canvas.set_ranges((0, 1), (0, 1))
+    else:
+        upper = _nice_ceiling(max(values) * 1.05 or 1.0)
+        canvas.set_ranges((-0.5, len(values) - 0.5), (0.0, upper))
+    canvas.axes(x_label, y_label)
+    if title:
+        canvas.title(title)
+    for position, value in enumerate(values):
+        canvas.bar(position, value, bar_width=0.9, color=color)
+    return canvas.render()
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 360,
+    y_max: float | None = None,
+) -> str:
+    """Grouped bars: ``{group: {series: value}}`` (table visualisation).
+
+    Groups lay out along x; each series gets a colour, keyed in a legend.
+    """
+    canvas = SVGCanvas(width=width, height=height, margin_bottom=70)
+    group_names = list(groups)
+    series_names: list[str] = []
+    for cells in groups.values():
+        for name in cells:
+            if name not in series_names:
+                series_names.append(name)
+    all_values = [value for cells in groups.values() for value in cells.values()]
+    upper = y_max if y_max is not None else _nice_ceiling(
+        (max(all_values) if all_values else 1.0) * 1.05
+    )
+    canvas.set_ranges((-0.5, max(len(group_names) - 0.5, 0.5)), (0.0, upper))
+    canvas.axes("", y_label, x_ticks=1, x_format="")
+    if title:
+        canvas.title(title)
+    n_series = max(1, len(series_names))
+    slot = 0.8 / n_series
+    legend = []
+    for series_index, series_name in enumerate(series_names):
+        color = PALETTE[series_index % len(PALETTE)]
+        legend.append((series_name, color))
+        for group_index, group_name in enumerate(group_names):
+            value = groups[group_name].get(series_name)
+            if value is None:
+                continue
+            offset = (series_index - (n_series - 1) / 2) * slot
+            canvas.bar(group_index + offset, value, bar_width=slot * 0.9, color=color)
+    for group_index, group_name in enumerate(group_names):
+        canvas.text(
+            canvas.x_pixel(group_index),
+            canvas.height - canvas.margin_bottom + 14,
+            group_name if len(group_name) <= 18 else group_name[:17] + "…",
+            size=9,
+            anchor="middle",
+        )
+    canvas.legend(legend)
+    return canvas.render()

@@ -1,0 +1,118 @@
+"""Integration tests for the end-to-end DNA archive."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ErrorModel
+from repro.data.nanopore import ground_truth_model
+from repro.pipeline.decay import DecayParameters, StorageDecay
+from repro.pipeline.encoding import RotationCodec
+from repro.pipeline.storage import ArchiveError, DNAArchive
+from repro.reconstruct.iterative import IterativeReconstruction
+
+
+@pytest.fixture
+def payload() -> bytes:
+    return bytes(random.Random(11).randrange(256) for _ in range(500))
+
+
+class TestWritePath:
+    def test_write_produces_strands(self, payload):
+        archive = DNAArchive(seed=0)
+        stored = archive.write("doc", payload)
+        assert stored.n_total_strands > stored.n_data_strands
+        assert all(
+            len(strand) == stored.layout.strand_length()
+            for strand in stored.strands
+        )
+
+    def test_duplicate_key_rejected(self, payload):
+        archive = DNAArchive(seed=0)
+        archive.write("doc", payload)
+        with pytest.raises(ValueError):
+            archive.write("doc", payload)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            DNAArchive(seed=0).write("doc", b"")
+
+    def test_files_get_distinct_primers(self, payload):
+        archive = DNAArchive(seed=0)
+        first = archive.write("a", payload)
+        second = archive.write("b", payload)
+        assert first.layout.primer != second.layout.primer
+
+    def test_invalid_rs_configuration(self):
+        with pytest.raises(ValueError):
+            DNAArchive(rs_group_data=250, rs_group_parity=10)
+
+
+class TestReadPath:
+    def test_noiseless_roundtrip(self, payload):
+        archive = DNAArchive(seed=0)
+        archive.write("doc", payload)
+        report = archive.read("doc")
+        assert report.data == payload
+        assert report.n_erasures == 0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            DNAArchive(seed=0).read("missing")
+
+    def test_roundtrip_through_mild_channel(self, payload):
+        archive = DNAArchive(seed=0)
+        archive.write("doc", payload)
+        model = ErrorModel.naive(0.005, 0.005, 0.01)
+        report = archive.read("doc", channel_model=model, coverage=6)
+        assert report.data == payload
+
+    def test_roundtrip_through_nanopore_channel(self, payload):
+        archive = DNAArchive(seed=0, rs_group_data=24, rs_group_parity=16)
+        archive.write("doc", payload)
+        report = archive.read(
+            "doc",
+            channel_model=ground_truth_model(),
+            coverage=10,
+            reconstructor=IterativeReconstruction(),
+        )
+        assert report.data == payload
+        assert report.n_reads > 0
+
+    def test_roundtrip_with_storage_decay(self, payload):
+        archive = DNAArchive(seed=0)
+        archive.write("doc", payload)
+        decay = StorageDecay(
+            DecayParameters(half_life_years=1000.0), random.Random(1)
+        )
+        report = archive.read(
+            "doc", decay=decay, storage_years=50.0, coverage=6
+        )
+        assert report.data == payload
+
+    def test_rotation_codec_archive(self, payload):
+        archive = DNAArchive(codec=RotationCodec(), seed=0)
+        archive.write("doc", payload[:200])
+        assert archive.read("doc").data == payload[:200]
+
+    def test_unrecoverable_corruption_raises(self, payload):
+        archive = DNAArchive(seed=0, rs_group_data=32, rs_group_parity=2)
+        archive.write("doc", payload)
+        # A harsh channel at coverage 1 destroys far more strands than two
+        # parity strands per group can absorb.
+        with pytest.raises(ArchiveError):
+            archive.read(
+                "doc",
+                channel_model=ErrorModel.naive(0.05, 0.05, 0.05),
+                coverage=1,
+            )
+
+    def test_all_strands_mixes_files(self, payload):
+        archive = DNAArchive(seed=0)
+        first = archive.write("a", payload[:100])
+        second = archive.write("b", payload[100:200])
+        assert len(archive.all_strands()) == (
+            first.n_total_strands + second.n_total_strands
+        )

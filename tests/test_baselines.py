@@ -1,0 +1,147 @@
+"""Unit tests for the DNASimulator and naive-simulator baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.baselines.dnasimulator import DNASimulatorBaseline
+from repro.baselines.naive import NaiveSimulator
+from repro.core.alphabet import BASES
+
+
+def flat_dictionary(substitution=0.0, insertion=0.0, deletion=0.0,
+                    long_deletion=0.0):
+    return {
+        base: {
+            "substitution": substitution,
+            "insertion": insertion,
+            "deletion": deletion,
+            "long_deletion": long_deletion,
+        }
+        for base in BASES
+    }
+
+
+class TestDNASimulatorValidation:
+    def test_missing_base_rejected(self):
+        dictionary = flat_dictionary()
+        del dictionary["T"]
+        with pytest.raises(ValueError, match="missing base"):
+            DNASimulatorBaseline(dictionary)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DNASimulatorBaseline(flat_dictionary(substitution=1.5))
+
+    def test_rates_summing_above_one_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            DNASimulatorBaseline(
+                flat_dictionary(substitution=0.5, insertion=0.6)
+            )
+
+    def test_negative_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            DNASimulatorBaseline(flat_dictionary(), coverage=-1)
+
+
+class TestDNASimulatorBehaviour:
+    def test_zero_rates_identity(self):
+        baseline = DNASimulatorBaseline(flat_dictionary(), coverage=3, seed=0)
+        pool = baseline.generate(["ACGTACGT"])
+        assert pool[0].copies == ["ACGTACGT"] * 3
+
+    def test_deletion_only_shortens(self):
+        baseline = DNASimulatorBaseline(
+            flat_dictionary(deletion=0.3), coverage=10, seed=0
+        )
+        pool = baseline.generate(["ACGT" * 20])
+        assert all(len(copy) <= 80 for copy in pool[0].copies)
+        assert any(len(copy) < 80 for copy in pool[0].copies)
+
+    def test_substitution_preserves_length(self):
+        baseline = DNASimulatorBaseline(
+            flat_dictionary(substitution=0.3), coverage=10, seed=0
+        )
+        pool = baseline.generate(["ACGT" * 20])
+        assert all(len(copy) == 80 for copy in pool[0].copies)
+
+    def test_long_deletion_removes_at_least_two(self):
+        baseline = DNASimulatorBaseline(
+            flat_dictionary(long_deletion=0.05), coverage=30, seed=0
+        )
+        pool = baseline.generate(["ACGT" * 20])
+        shortened = [copy for copy in pool[0].copies if len(copy) < 80]
+        assert shortened
+        assert all(len(copy) <= 78 for copy in shortened)
+
+    def test_generate_with_coverages(self):
+        baseline = DNASimulatorBaseline(flat_dictionary(), seed=0)
+        pool = baseline.generate_with_coverages(["ACGT", "TGCA"], [1, 4])
+        assert pool.coverages() == [1, 4]
+
+    def test_generate_with_coverages_length_mismatch(self):
+        baseline = DNASimulatorBaseline(flat_dictionary(), seed=0)
+        with pytest.raises(ValueError):
+            baseline.generate_with_coverages(["ACGT"], [1, 2])
+
+    def test_invalid_reference_rejected(self):
+        baseline = DNASimulatorBaseline(flat_dictionary(), coverage=1, seed=0)
+        with pytest.raises(Exception):
+            baseline.generate(["ACXT"])
+
+
+class TestDNASimulatorFactories:
+    def test_from_technologies(self):
+        baseline = DNASimulatorBaseline.from_technologies(
+            "twist", "nanopore", coverage=2, seed=0
+        )
+        pool = baseline.generate(["ACGT" * 25])
+        assert pool[0].coverage == 2
+
+    def test_from_technologies_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DNASimulatorBaseline.from_technologies("acme", "nanopore")
+
+    def test_from_error_statistics(self):
+        statistics = ErrorStatistics()
+        statistics.tally_pair("ACGTACGTAC", "ACGTACGTAC")
+        statistics.tally_pair("ACGTACGTAC", "ACGAACGTAC")
+        baseline = DNASimulatorBaseline.from_error_statistics(
+            statistics, coverage=3, seed=0
+        )
+        # Substitution rate compensated by 4/3 for silent substitutions.
+        assert baseline.dictionary["A"]["substitution"] == pytest.approx(
+            (1 / 20) * 4 / 3
+        )
+
+    def test_as_error_model_equivalent_rates(self):
+        baseline = DNASimulatorBaseline(
+            flat_dictionary(substitution=0.04, insertion=0.01, deletion=0.02),
+            seed=0,
+        )
+        model = baseline.as_error_model()
+        assert model.substitution_rate["A"] == pytest.approx(0.03)
+        assert model.insertion_rate["A"] == pytest.approx(0.01)
+
+
+class TestNaiveSimulator:
+    def test_generate_shapes(self):
+        simulator = NaiveSimulator(0.01, 0.01, 0.01, coverage=4, seed=0)
+        pool = simulator.generate(["ACGT" * 10] * 3)
+        assert len(pool) == 3
+        assert pool.coverages() == [4, 4, 4]
+
+    def test_zero_rates_identity(self):
+        simulator = NaiveSimulator(0.0, 0.0, 0.0, coverage=2, seed=0)
+        pool = simulator.generate(["ACGTACGT"])
+        assert pool[0].copies == ["ACGTACGT"] * 2
+
+    def test_custom_coverages(self):
+        simulator = NaiveSimulator(0.0, 0.0, 0.0, seed=0)
+        pool = simulator.generate_with_coverages(["ACGT", "TGCA"], [2, 5])
+        assert pool.coverages() == [2, 5]
+
+    def test_model_property_exposes_rates(self):
+        simulator = NaiveSimulator(0.01, 0.02, 0.03, seed=0)
+        assert simulator.model.deletion_rate["G"] == pytest.approx(0.02)

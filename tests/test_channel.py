@@ -1,0 +1,213 @@
+"""Unit and statistical tests for repro.core.channel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel, SecondOrderError
+from repro.core.spatial import HistogramSpatial
+from repro.core.strand import StrandPool
+
+
+def make_channel(model: ErrorModel, seed: int = 0) -> Channel:
+    return Channel(model, random.Random(seed))
+
+
+class TestNoiselessChannel:
+    def test_zero_rates_identity(self):
+        channel = make_channel(ErrorModel.naive(0.0, 0.0, 0.0))
+        assert channel.transmit("ACGTACGT") == "ACGTACGT"
+
+    def test_empty_strand(self):
+        channel = make_channel(ErrorModel.naive(0.1, 0.1, 0.1))
+        assert channel.transmit("") == ""
+
+
+class TestPureErrorTypes:
+    def test_pure_deletion_only_shortens(self):
+        channel = make_channel(ErrorModel.naive(0.0, 0.3, 0.0))
+        reference = "ACGT" * 25
+        for _ in range(20):
+            copy = channel.transmit(reference)
+            assert len(copy) <= len(reference)
+            # A pure-deletion copy is a subsequence of the reference.
+            iterator = iter(reference)
+            assert all(base in iterator for base in copy)
+
+    def test_pure_insertion_only_lengthens(self):
+        channel = make_channel(ErrorModel.naive(0.3, 0.0, 0.0))
+        reference = "ACGT" * 25
+        for _ in range(20):
+            copy = channel.transmit(reference)
+            assert len(copy) >= len(reference)
+            iterator = iter(copy)
+            assert all(base in iterator for base in reference)
+
+    def test_pure_substitution_preserves_length(self):
+        channel = make_channel(ErrorModel.naive(0.0, 0.0, 0.3))
+        reference = "ACGT" * 25
+        for _ in range(20):
+            assert len(channel.transmit(reference)) == len(reference)
+
+    def test_substitution_rate_statistical(self):
+        channel = make_channel(ErrorModel.naive(0.0, 0.0, 0.1))
+        reference = "ACGT" * 50
+        mismatches = 0
+        total = 0
+        for _ in range(100):
+            copy = channel.transmit(reference)
+            mismatches += sum(1 for a, b in zip(reference, copy) if a != b)
+            total += len(reference)
+        assert mismatches / total == pytest.approx(0.1, rel=0.15)
+
+
+class TestLongDeletions:
+    def test_long_deletion_removes_runs(self):
+        model = ErrorModel(
+            insertion_rate=0.0,
+            deletion_rate=0.0,
+            substitution_rate=0.0,
+            long_deletion_rate=0.05,
+            long_deletion_lengths={3: 1.0},
+        )
+        channel = make_channel(model)
+        reference = "ACGT" * 30
+        deltas = [
+            len(reference) - len(channel.transmit(reference)) for _ in range(50)
+        ]
+        # Runs are 3 long except when truncated at the strand end, so a
+        # non-multiple of 3 may appear at most once per transmission.
+        assert any(delta >= 3 for delta in deltas)
+        full_runs = [delta for delta in deltas if delta % 3 == 0]
+        assert len(full_runs) >= len(deltas) * 0.6
+
+
+class TestSpatialWeighting:
+    def test_errors_follow_spatial_distribution(self):
+        weights = [0.0] * 50
+        weights[10] = 50.0  # all error mass on position 10
+        model = ErrorModel(
+            insertion_rate=0.0,
+            deletion_rate=0.0,
+            substitution_rate=0.02,
+        ).with_spatial(HistogramSpatial(weights))
+        channel = make_channel(model)
+        reference = "A" * 50
+        errors_at_10 = 0
+        errors_elsewhere = 0
+        for _ in range(300):
+            copy = channel.transmit(reference)
+            for position, (a, b) in enumerate(zip(reference, copy)):
+                if a != b:
+                    if position == 10:
+                        errors_at_10 += 1
+                    else:
+                        errors_elsewhere += 1
+        assert errors_at_10 > 0
+        assert errors_elsewhere == 0
+
+
+class TestSecondOrderErrors:
+    def test_second_order_substitution_applies_specific_replacement(self):
+        model = ErrorModel.naive(0.0, 0.0, 0.0).with_second_order(
+            (SecondOrderError("substitution", "A", "G", 0.5),)
+        )
+        channel = make_channel(model)
+        copies = [channel.transmit("AAAA") for _ in range(50)]
+        observed = set("".join(copies))
+        assert observed <= {"A", "G"}
+        assert "G" in observed
+
+    def test_second_order_deletion_only_hits_its_base(self):
+        model = ErrorModel.naive(0.0, 0.0, 0.0).with_second_order(
+            (SecondOrderError("deletion", "C", "", 0.5),)
+        )
+        channel = make_channel(model)
+        reference = "CACA" * 10
+        for _ in range(30):
+            copy = channel.transmit(reference)
+            assert copy.count("A") == reference.count("A")
+
+    def test_second_order_insertion_inserts_specific_base(self):
+        model = ErrorModel.naive(0.0, 0.0, 0.0).with_second_order(
+            (SecondOrderError("insertion", "", "T", 0.5),)
+        )
+        channel = make_channel(model)
+        copy = channel.transmit("AAAAAAAAAA")
+        extra = [base for base in copy if base != "A"]
+        assert set(extra) <= {"T"}
+
+
+class TestBurstErrors:
+    def test_bursts_remove_or_corrupt_runs(self):
+        model = ErrorModel(
+            insertion_rate=0.0,
+            deletion_rate=0.0,
+            substitution_rate=0.0,
+            burst_rate=0.02,
+            burst_min_length=5,
+            burst_deletion_fraction=1.0,  # always delete
+        )
+        channel = make_channel(model)
+        reference = "ACGT" * 30
+        deltas = [
+            len(reference) - len(channel.transmit(reference))
+            for _ in range(100)
+        ]
+        bursts = [delta for delta in deltas if delta > 0]
+        assert bursts, "expected at least one burst in 100 transmissions"
+        assert all(delta >= 5 or delta == 0 for delta in deltas)
+
+
+class TestHomopolymerFactor:
+    def test_homopolymer_positions_more_error_prone(self):
+        model = ErrorModel(
+            insertion_rate=0.0,
+            deletion_rate=0.0,
+            substitution_rate=0.05,
+            homopolymer_factor=4.0,
+        )
+        channel = make_channel(model)
+        # First half homopolymer, second half alternating.
+        reference = "A" * 40 + "CGTG" * 10
+        homopolymer_errors = 0
+        other_errors = 0
+        for _ in range(300):
+            copy = channel.transmit(reference)
+            for position, (a, b) in enumerate(zip(reference, copy)):
+                if a != b:
+                    if position < 40:
+                        homopolymer_errors += 1
+                    else:
+                        other_errors += 1
+        assert homopolymer_errors > 2 * other_errors
+
+
+class TestPoolGeneration:
+    def test_transmit_pool_shapes(self):
+        channel = make_channel(ErrorModel.naive(0.01, 0.01, 0.01))
+        pool = channel.transmit_pool(["ACGT" * 10, "TGCA" * 10], ConstantCoverage(3))
+        assert isinstance(pool, StrandPool)
+        assert len(pool) == 2
+        assert pool.coverages() == [3, 3]
+
+    def test_transmit_many_negative_raises(self):
+        channel = make_channel(ErrorModel.naive(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            channel.transmit_many("ACGT", -1)
+
+    def test_same_seed_same_output(self):
+        model = ErrorModel.naive(0.05, 0.05, 0.05)
+        first = Channel(model, random.Random(42)).transmit_many("ACGT" * 20, 5)
+        second = Channel(model, random.Random(42)).transmit_many("ACGT" * 20, 5)
+        assert first == second
+
+    def test_ladder_cache_reused_across_lengths(self):
+        channel = make_channel(ErrorModel.naive(0.01, 0.01, 0.01))
+        channel.transmit("ACGT")
+        channel.transmit("ACGTACGT")
+        assert set(channel._ladder_cache) == {4, 8}

@@ -1,0 +1,109 @@
+"""End-to-end tests for the dnasim command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_pool, write_pool, write_references
+
+
+@pytest.fixture
+def dataset_file(tmp_path, nanopore_pool):
+    path = tmp_path / "real.txt"
+    write_pool(nanopore_pool.trimmed(4), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table_9_9"])
+
+
+class TestDatasetCommand:
+    def test_generates_file(self, tmp_path):
+        output = tmp_path / "out.txt"
+        code = main(
+            ["dataset", str(output), "--clusters", "10", "--seed", "3"]
+        )
+        assert code == 0
+        pool = read_pool(output)
+        assert len(pool) == 10
+
+
+class TestProfileCommand:
+    def test_prints_statistics(self, dataset_file, capsys):
+        assert main(["profile", str(dataset_file)]) == 0
+        output = capsys.readouterr().out
+        assert "aggregate error rate" in output
+        assert "second-order" in output
+
+
+class TestGenerateCommand:
+    def test_fits_and_generates(self, dataset_file, tmp_path):
+        output = tmp_path / "sim.txt"
+        code = main(
+            [
+                "generate",
+                str(dataset_file),
+                str(output),
+                "--stage",
+                "skew",
+                "--coverage",
+                "3",
+            ]
+        )
+        assert code == 0
+        pool = read_pool(output)
+        assert pool.coverages() == [3] * len(pool)
+
+    def test_generate_with_reference_file(self, dataset_file, tmp_path):
+        references = tmp_path / "refs.txt"
+        write_references(["ACGT" * 25, "TGCA" * 25], references)
+        output = tmp_path / "sim.txt"
+        code = main(
+            [
+                "generate",
+                str(dataset_file),
+                str(output),
+                "--references",
+                str(references),
+                "--coverage",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert len(read_pool(output)) == 2
+
+
+class TestEvaluateCommand:
+    def test_reports_accuracy(self, dataset_file, capsys):
+        code = main(
+            ["evaluate", str(dataset_file), "--algorithms", "bma", "majority"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BMA" in output
+        assert "per-strand" in output
+
+    def test_trim_option(self, dataset_file, capsys):
+        assert main(["evaluate", str(dataset_file), "--trim", "2"]) == 0
+
+    def test_unknown_algorithm_exits(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["evaluate", str(dataset_file), "--algorithms", "magic"])
+
+
+class TestExperimentCommand:
+    def test_runs_table_1_1(self, capsys):
+        assert main(["experiment", "table_1_1"]) == 0
+        assert "Nanopore" in capsys.readouterr().out
+
+    def test_runs_fig_3_2_at_small_scale(self, capsys):
+        assert main(["experiment", "fig_3_2", "--clusters", "30"]) == 0
+        assert "Gestalt-aligned" in capsys.readouterr().out

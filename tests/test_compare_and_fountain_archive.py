@@ -1,0 +1,130 @@
+"""Tests for profile comparison and the fountain archive."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.compare import compare_pools, compare_statistics
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.simulator import Simulator
+from repro.pipeline.fountain_archive import (
+    FountainArchive,
+    FountainArchiveError,
+)
+from repro.pipeline.encoding import RotationCodec
+from repro.reconstruct.iterative import IterativeReconstruction
+
+
+class TestProfileComparison:
+    def test_pool_compared_to_itself_is_zero(self, nanopore_pool):
+        comparison = compare_pools(nanopore_pool, nanopore_pool)
+        assert comparison.aggregate_rate_delta == 0.0
+        assert comparison.positional_distance == pytest.approx(0.0)
+        assert comparison.second_order_overlap == 1.0
+
+    def test_fitted_simulator_closer_than_naive(self, nanopore_pool):
+        """The paper's claim, numerically: the full model's profile is
+        closer to the data on the spatial axis than the naive model's."""
+        profile = ErrorProfile.from_pool(nanopore_pool, max_copies_per_cluster=3)
+        references = nanopore_pool.references
+        naive_pool = Simulator(
+            profile.naive_model(), ConstantCoverage(6), seed=3
+        ).simulate(references)
+        full_pool = Simulator(
+            profile.generalized_model(), ConstantCoverage(6), seed=3
+        ).simulate(references)
+        naive_comparison = compare_pools(naive_pool, nanopore_pool)
+        full_comparison = compare_pools(full_pool, nanopore_pool)
+        assert (
+            full_comparison.positional_distance
+            < naive_comparison.positional_distance
+        )
+        assert (
+            full_comparison.substitution_matrix_distance
+            < naive_comparison.substitution_matrix_distance
+        )
+
+    def test_summary_mentions_all_metrics(self, nanopore_pool):
+        comparison = compare_pools(nanopore_pool, nanopore_pool)
+        summary = comparison.summary()
+        for keyword in ("aggregate", "substitution-matrix", "positional",
+                        "long-deletion", "second-order"):
+            assert keyword in summary
+
+    def test_empty_statistics_compare(self):
+        comparison = compare_statistics(ErrorStatistics(), ErrorStatistics())
+        assert comparison.aggregate_rate_delta == 0.0
+        assert comparison.second_order_overlap == 1.0
+
+
+class TestFountainArchive:
+    @pytest.fixture
+    def payload(self) -> bytes:
+        return bytes(random.Random(21).randrange(256) for _ in range(600))
+
+    def test_noiseless_roundtrip(self, payload):
+        archive = FountainArchive(seed=1)
+        archive.write("doc", payload)
+        assert archive.read("doc") == payload
+
+    def test_duplicate_key_rejected(self, payload):
+        archive = FountainArchive(seed=1)
+        archive.write("doc", payload)
+        with pytest.raises(ValueError):
+            archive.write("doc", payload)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            FountainArchive(seed=1).write("doc", b"")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            FountainArchive(seed=1).read("missing")
+
+    def test_survives_strand_loss(self, payload):
+        archive = FountainArchive(seed=2, overhead=2.0)
+        archive.write("doc", payload)
+        assert archive.read("doc", strand_loss_rate=0.25) == payload
+
+    def test_catastrophic_loss_raises(self, payload):
+        archive = FountainArchive(seed=3, overhead=0.3)
+        archive.write("doc", payload)
+        with pytest.raises(FountainArchiveError):
+            archive.read("doc", strand_loss_rate=0.95)
+
+    def test_roundtrip_through_noisy_channel(self, payload):
+        archive = FountainArchive(seed=4, overhead=2.0)
+        archive.write("doc", payload)
+        model = ErrorModel.naive(0.004, 0.006, 0.012)
+        recovered = archive.read(
+            "doc",
+            channel_model=model,
+            coverage=8,
+            reconstructor=IterativeReconstruction(),
+        )
+        assert recovered == payload
+
+    def test_rotation_codec_variant(self, payload):
+        archive = FountainArchive(codec=RotationCodec(), seed=5)
+        archive.write("doc", payload[:200])
+        assert archive.read("doc") == payload[:200]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FountainArchive(chunk_size=0)
+        with pytest.raises(ValueError):
+            FountainArchive(overhead=-0.1)
+        archive = FountainArchive(seed=6)
+        archive.write("doc", b"abc")
+        with pytest.raises(ValueError):
+            archive.read("doc", strand_loss_rate=1.5)
+
+    def test_overhead_controls_strand_count(self, payload):
+        lean = FountainArchive(seed=7, overhead=0.2).write("a", payload)
+        rich = FountainArchive(seed=7, overhead=1.0).write("a", payload)
+        assert len(rich.strands) > len(lean.strands)

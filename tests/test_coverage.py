@@ -1,0 +1,124 @@
+"""Unit and statistical tests for repro.core.coverage."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.coverage import (
+    ConstantCoverage,
+    CustomCoverage,
+    ErasureCoverage,
+    NegativeBinomialCoverage,
+    NormalCoverage,
+    PoissonCoverage,
+    _poisson,
+)
+
+
+class TestConstant:
+    def test_draws_constant(self, rng):
+        assert ConstantCoverage(7).draw(5, rng) == [7] * 5
+
+    def test_zero_clusters(self, rng):
+        assert ConstantCoverage(7).draw(0, rng) == []
+
+    def test_negative_coverage_raises(self):
+        with pytest.raises(ValueError):
+            ConstantCoverage(-1)
+
+    def test_negative_clusters_raises(self, rng):
+        with pytest.raises(ValueError):
+            ConstantCoverage(1).draw(-1, rng)
+
+
+class TestCustom:
+    def test_draws_exact_list(self, rng):
+        assert CustomCoverage([3, 0, 9]).draw(3, rng) == [3, 0, 9]
+
+    def test_size_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            CustomCoverage([3, 0]).draw(3, rng)
+
+    def test_negative_entries_raise(self):
+        with pytest.raises(ValueError):
+            CustomCoverage([3, -1])
+
+
+class TestPoisson:
+    def test_mean_close(self, rng):
+        draws = PoissonCoverage(8.0).draw(4000, rng)
+        assert statistics.fmean(draws) == pytest.approx(8.0, rel=0.1)
+
+    def test_zero_mean(self, rng):
+        assert PoissonCoverage(0.0).draw(10, rng) == [0] * 10
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(ValueError):
+            PoissonCoverage(-1.0)
+
+    def test_large_mean_uses_normal_path(self, rng):
+        draws = [_poisson(200.0, rng) for _ in range(500)]
+        assert statistics.fmean(draws) == pytest.approx(200.0, rel=0.05)
+
+
+class TestNegativeBinomial:
+    def test_mean_close(self, rng):
+        model = NegativeBinomialCoverage(mean=26.0, dispersion=4.0)
+        draws = model.draw(4000, rng)
+        assert statistics.fmean(draws) == pytest.approx(26.0, rel=0.1)
+
+    def test_overdispersed_relative_to_poisson(self, rng):
+        model = NegativeBinomialCoverage(mean=26.0, dispersion=4.0)
+        draws = model.draw(4000, rng)
+        # Variance should exceed the Poisson variance (== mean) clearly.
+        assert statistics.pvariance(draws) > 2 * statistics.fmean(draws)
+
+    def test_theoretical_variance(self):
+        model = NegativeBinomialCoverage(mean=10.0, dispersion=5.0)
+        assert model.variance() == pytest.approx(10.0 + 100.0 / 5.0)
+
+    def test_invalid_dispersion_raises(self):
+        with pytest.raises(ValueError):
+            NegativeBinomialCoverage(10.0, 0.0)
+
+    def test_zero_mean(self, rng):
+        assert NegativeBinomialCoverage(0.0, 2.0).draw(5, rng) == [0] * 5
+
+
+class TestNormal:
+    def test_mean_close(self, rng):
+        draws = NormalCoverage(20.0, 4.0).draw(4000, rng)
+        assert statistics.fmean(draws) == pytest.approx(20.0, rel=0.1)
+
+    def test_never_negative(self, rng):
+        draws = NormalCoverage(1.0, 5.0).draw(2000, rng)
+        assert min(draws) >= 0
+
+    def test_invalid_stdev_raises(self):
+        with pytest.raises(ValueError):
+            NormalCoverage(5.0, -1.0)
+
+
+class TestErasure:
+    def test_erasure_rate_applied(self, rng):
+        model = ErasureCoverage(ConstantCoverage(10), erasure_probability=0.25)
+        draws = model.draw(4000, rng)
+        zero_fraction = draws.count(0) / len(draws)
+        assert zero_fraction == pytest.approx(0.25, abs=0.03)
+
+    def test_zero_probability_passthrough(self, rng):
+        model = ErasureCoverage(ConstantCoverage(5), erasure_probability=0.0)
+        assert model.draw(10, rng) == [5] * 10
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            ErasureCoverage(ConstantCoverage(5), erasure_probability=1.5)
+
+    def test_deterministic_with_seed(self):
+        model = ErasureCoverage(PoissonCoverage(5.0), 0.1)
+        first = model.draw(50, random.Random(3))
+        second = model.draw(50, random.Random(3))
+        assert first == second

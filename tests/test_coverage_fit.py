@@ -1,0 +1,129 @@
+"""Unit tests for coverage-model fitting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.coverage_fit import (
+    coverage_fit_report,
+    estimate_erasure_rate,
+    fit_coverage_model,
+    fit_negative_binomial,
+)
+from repro.core.coverage import (
+    ConstantCoverage,
+    ErasureCoverage,
+    NegativeBinomialCoverage,
+    PoissonCoverage,
+)
+from repro.core.strand import Cluster, StrandPool
+
+
+def pool_with_coverages(coverages: list[int]) -> StrandPool:
+    return StrandPool(
+        [Cluster("ACGT", ["ACGT"] * coverage) for coverage in coverages]
+    )
+
+
+class TestNegativeBinomialFit:
+    def test_recovers_known_parameters(self, rng):
+        truth = NegativeBinomialCoverage(mean=25.0, dispersion=4.0)
+        draws = truth.draw(6000, rng)
+        fitted = fit_negative_binomial(draws)
+        assert fitted.mean == pytest.approx(25.0, rel=0.1)
+        assert fitted.dispersion == pytest.approx(4.0, rel=0.4)
+
+    def test_rejects_underdispersed_data(self):
+        with pytest.raises(ValueError, match="over-dispersed"):
+            fit_negative_binomial([5, 5, 5, 5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_negative_binomial([])
+
+
+class TestErasureRate:
+    def test_counts_empty_clusters(self):
+        pool = pool_with_coverages([3, 0, 2, 0])
+        assert estimate_erasure_rate(pool) == pytest.approx(0.5)
+
+    def test_empty_pool(self):
+        assert estimate_erasure_rate(StrandPool()) == 0.0
+
+
+class TestModelSelection:
+    def test_constant_for_zero_variance(self):
+        model = fit_coverage_model(pool_with_coverages([4, 4, 4]))
+        assert isinstance(model, ConstantCoverage)
+        assert model.coverage == 4
+
+    def test_poisson_for_moderate_dispersion(self, rng):
+        draws = PoissonCoverage(8.0).draw(500, rng)
+        draws = [max(1, value) for value in draws]  # strip erasures
+        model = fit_coverage_model(pool_with_coverages(draws))
+        # Sample dispersion of Poisson data hovers around 1, so the fit
+        # may land on either side of the Poisson/NB boundary; what must
+        # hold is the mean and the absence of heavy over-dispersion.
+        if isinstance(model, NegativeBinomialCoverage):
+            assert model.mean == pytest.approx(8.0, rel=0.15)
+            assert model.dispersion > 5.0  # near-Poisson tail
+        else:
+            assert isinstance(model, (PoissonCoverage, ConstantCoverage))
+
+    def test_negative_binomial_for_overdispersion(self, rng):
+        draws = NegativeBinomialCoverage(20.0, 3.0).draw(800, rng)
+        draws = [max(1, value) for value in draws]
+        model = fit_coverage_model(pool_with_coverages(draws))
+        assert isinstance(model, NegativeBinomialCoverage)
+
+    def test_erasures_wrap_model(self, rng):
+        draws = NegativeBinomialCoverage(20.0, 3.0).draw(400, rng)
+        draws = [max(1, value) for value in draws] + [0] * 40
+        model = fit_coverage_model(pool_with_coverages(draws))
+        assert isinstance(model, ErasureCoverage)
+        assert model.erasure_probability == pytest.approx(40 / 440, rel=0.01)
+
+    def test_erasures_can_be_excluded(self):
+        pool = pool_with_coverages([3, 3, 0])
+        model = fit_coverage_model(pool, include_erasures=False)
+        assert isinstance(model, ConstantCoverage)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            fit_coverage_model(StrandPool())
+
+    def test_all_erasures(self):
+        model = fit_coverage_model(pool_with_coverages([0, 0]))
+        assert isinstance(model, ConstantCoverage)
+        assert model.coverage == 0
+
+
+class TestEndToEnd:
+    def test_fits_the_wetlab_substitute(self, nanopore_pool):
+        """The synthetic Nanopore data is generated negative-binomially;
+        the fit must recognise that and recover the mean."""
+        model = fit_coverage_model(nanopore_pool)
+        inner = model.inner if isinstance(model, ErasureCoverage) else model
+        assert isinstance(inner, NegativeBinomialCoverage)
+        assert inner.mean == pytest.approx(nanopore_pool.mean_coverage, rel=0.1)
+
+    def test_fitted_model_reproduces_distribution(self, nanopore_pool, rng):
+        model = fit_coverage_model(nanopore_pool)
+        draws = model.draw(4000, rng)
+        import statistics
+
+        assert statistics.fmean(draws) == pytest.approx(
+            nanopore_pool.mean_coverage, rel=0.15
+        )
+        # Over-dispersion is preserved.
+        assert statistics.pvariance(draws) > statistics.fmean(draws)
+
+    def test_report_contents(self, nanopore_pool):
+        report = coverage_fit_report(nanopore_pool)
+        assert report["model"] in (
+            "NegativeBinomialCoverage",
+            "ErasureCoverage",
+        )
+        assert report["mean"] > 0

@@ -1,0 +1,127 @@
+"""Cross-validation tests: independent implementations must agree.
+
+These tests pin our from-scratch algorithms against either the standard
+library (difflib implements the same Ratcliff-Obershelp gestalt
+algorithm) or against round-trip identities (profiling a simulator's own
+output must recover the simulator's parameters).
+"""
+
+from __future__ import annotations
+
+import difflib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.align.gestalt import gestalt_score, matching_blocks
+from repro.baselines.dnasimulator import DNASimulatorBaseline
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel, transition_biased_substitution_matrix
+from repro.core.simulator import Simulator
+
+dna = st.text(alphabet="ACGT", max_size=40)
+
+
+class TestGestaltAgainstDifflib:
+    @given(dna, dna)
+    def test_score_matches_sequence_matcher(self, first, second):
+        expected = difflib.SequenceMatcher(
+            None, first, second, autojunk=False
+        ).ratio()
+        assert gestalt_score(first, second) == pytest.approx(expected)
+
+    @given(dna, dna)
+    def test_total_matched_size_matches(self, first, second):
+        ours = sum(block.size for block in matching_blocks(first, second))
+        theirs = sum(
+            block.size
+            for block in difflib.SequenceMatcher(
+                None, first, second, autojunk=False
+            ).get_matching_blocks()
+        )
+        assert ours == theirs
+
+
+class TestProfilerRecoversChannel:
+    """Round-trip identity: ErrorProfile(simulate(model)) ~ model."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        model = ErrorModel(
+            insertion_rate=0.008,
+            deletion_rate=0.015,
+            substitution_rate=0.025,
+            substitution_matrix=transition_biased_substitution_matrix(0.8),
+        )
+        simulator = Simulator(model, ConstantCoverage(6), seed=77)
+        pool = simulator.simulate_random(150, 110)
+        statistics = ErrorStatistics()
+        statistics.tally_pool(pool)
+        return model, statistics
+
+    def test_aggregate_rates_recovered(self, measured):
+        model, statistics = measured
+        rates = statistics.aggregate_rates()
+        assert rates["substitution"] == pytest.approx(0.025, rel=0.15)
+        assert rates["insertion"] == pytest.approx(0.008, rel=0.25)
+        # Measured single deletions: the aligner occasionally merges two
+        # nearby deletions into one "long deletion" run, so allow slack.
+        total_deletion = (
+            rates["deletion"]
+            + rates["long_deletion"] * statistics.mean_long_deletion_length()
+        )
+        assert total_deletion == pytest.approx(0.015, rel=0.2)
+
+    def test_substitution_matrix_recovered(self, measured):
+        _model, statistics = measured
+        matrix = statistics.substitution_matrix()
+        for original, partner in (("A", "G"), ("T", "C")):
+            assert matrix[original][partner] == pytest.approx(0.8, abs=0.12)
+
+    def test_uniform_spatial_measured_flat(self, measured):
+        _model, statistics = measured
+        rates = statistics.positional_error_rates()
+        interior = rates[20:90]
+        assert max(interior) < 3 * (sum(interior) / len(interior))
+
+
+class TestDNASimulatorModelEquivalence:
+    """Algorithm 1 and its ErrorModel translation produce statistically
+    matching channels."""
+
+    @settings(max_examples=1, deadline=None)
+    @given(st.just(0))
+    def test_aggregate_error_rates_match(self, _):
+        dictionary = {
+            base: {
+                "substitution": 0.03,
+                "insertion": 0.01,
+                "deletion": 0.02,
+                "long_deletion": 0.002,
+            }
+            for base in "ACGT"
+        }
+        baseline = DNASimulatorBaseline(dictionary, coverage=6, seed=3)
+        references = None
+        from repro.core.alphabet import random_strand
+        import random as _random
+
+        rng = _random.Random(4)
+        references = [random_strand(110, rng) for _ in range(100)]
+        baseline_pool = baseline.generate(references)
+
+        model = baseline.as_error_model()
+        model_pool = Simulator(model, ConstantCoverage(6), seed=3).simulate(
+            references
+        )
+
+        baseline_stats = ErrorStatistics()
+        baseline_stats.tally_pool(baseline_pool, max_copies_per_cluster=3)
+        model_stats = ErrorStatistics()
+        model_stats.tally_pool(model_pool, max_copies_per_cluster=3)
+
+        assert baseline_stats.aggregate_error_rate() == pytest.approx(
+            model_stats.aggregate_error_rate(), rel=0.12
+        )

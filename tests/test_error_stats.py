@@ -1,0 +1,149 @@
+"""Unit tests for repro.analysis.error_stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.strand import Cluster, StrandPool
+
+
+def stats_for(reference: str, copies: list[str]) -> ErrorStatistics:
+    statistics = ErrorStatistics()
+    for copy in copies:
+        statistics.tally_pair(reference, copy)
+    return statistics
+
+
+class TestBasicTallies:
+    def test_perfect_copy_counts_no_errors(self):
+        statistics = stats_for("ACGT", ["ACGT"])
+        assert statistics.total_errors() == 0
+        assert statistics.aggregate_error_rate() == 0.0
+
+    def test_opportunities_count_reference_bases(self):
+        statistics = stats_for("AACG", ["AACG", "AACG"])
+        assert statistics.base_opportunities["A"] == 4
+        assert statistics.total_opportunities() == 8
+
+    def test_single_substitution_tallied(self):
+        statistics = stats_for("ACGT", ["AGGT"])
+        assert statistics.substitution_counts["C"] == 1
+        assert statistics.substitution_pairs[("C", "G")] == 1
+        assert statistics.conditional_rate("substitution", "C") == 1.0
+
+    def test_single_deletion_tallied(self):
+        statistics = stats_for("ACGT", ["AGT"])
+        assert statistics.deletion_counts["C"] == 1
+        assert statistics.long_deletion_count == 0
+
+    def test_insertion_attributed_to_preceding_base(self):
+        statistics = stats_for("ACGT", ["ACTGT"])
+        assert statistics.insertion_counts["C"] == 1
+        assert statistics.inserted_bases["T"] == 1
+
+    def test_error_positions_histogram(self):
+        statistics = stats_for("ACGT", ["AGGT"])
+        assert statistics.error_positions == [0, 1, 0, 0]
+
+
+class TestLongDeletions:
+    def test_run_counted_once(self):
+        statistics = stats_for("AACCGGTT", ["AAGGTT"])
+        assert statistics.long_deletion_count == 1
+        assert statistics.long_deletion_lengths[2] == 1
+        # Deleted bases inside the run are excluded from single-base counts.
+        assert sum(statistics.deletion_counts.values()) == 0
+
+    def test_rates_and_mean_length(self):
+        statistics = stats_for("AACCGGTT", ["AAGGTT", "AACCGGTT"])
+        assert statistics.long_deletion_rate() == pytest.approx(1 / 16)
+        assert statistics.mean_long_deletion_length() == pytest.approx(2.0)
+
+    def test_length_distribution_normalised(self):
+        statistics = stats_for("ACGTACGTAC", ["GTACGTAC", "ACGTACGT"])
+        distribution = statistics.long_deletion_length_distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        statistics = stats_for("ACGT", ["ACGT"])
+        assert statistics.long_deletion_length_distribution() == {}
+        assert statistics.mean_long_deletion_length() == 0.0
+
+
+class TestDerivedRates:
+    def test_aggregate_rates_sum(self):
+        statistics = stats_for("ACGTACGTAC", ["ACGTACGTAC", "ACGTACGTAG"])
+        rates = statistics.aggregate_rates()
+        assert rates["substitution"] == pytest.approx(1 / 20)
+        assert rates["insertion"] == 0.0
+
+    def test_substitution_matrix_rows_normalised(self):
+        statistics = stats_for("CCCC", ["ACCC", "CCCT"])
+        matrix = statistics.substitution_matrix()
+        assert sum(matrix["C"].values()) == pytest.approx(1.0)
+        assert matrix["C"]["A"] == pytest.approx(0.5)
+
+    def test_matrix_uniform_for_unseen_base(self):
+        statistics = stats_for("AAAA", ["AAAA"])
+        matrix = statistics.substitution_matrix()
+        assert matrix["G"] == {
+            base: pytest.approx(1 / 3) for base in "ACT"
+        }
+
+    def test_inserted_base_distribution_uniform_when_empty(self):
+        statistics = stats_for("ACGT", ["ACGT"])
+        assert statistics.inserted_base_distribution() == {
+            base: 0.25 for base in "ACGT"
+        }
+
+    def test_positional_error_rates_normalised_by_coverage(self):
+        statistics = stats_for("ACGT", ["AGGT", "AGGT"])
+        rates = statistics.positional_error_rates()
+        assert rates[1] == pytest.approx(1.0)
+        assert rates[0] == 0.0
+
+
+class TestSecondOrder:
+    def test_second_order_keys(self):
+        statistics = stats_for("ACGT", ["AGGT", "AGT", "ACTGT"])
+        keys = {key for key, _count in statistics.second_order_counts.items()}
+        assert ("substitution", "C", "G") in keys
+        assert ("insertion", "", "T") in keys
+
+    def test_top_second_order_sorted(self):
+        statistics = stats_for("ACGT", ["AGGT", "AGGT", "ACGA"])
+        top = statistics.top_second_order_errors(2)
+        assert top[0][0] == ("substitution", "C", "G")
+        assert top[0][1] == 2
+
+    def test_second_order_fraction(self):
+        statistics = stats_for("ACGT", ["AGGT", "ACGA"])
+        assert statistics.second_order_fraction(1) == pytest.approx(0.5)
+        assert statistics.second_order_fraction(10) == pytest.approx(1.0)
+
+    def test_positions_tracked_per_error(self):
+        statistics = stats_for("ACGT", ["AGGT"])
+        histogram = statistics.second_order_positions[("substitution", "C", "G")]
+        assert histogram[1] == 1
+
+    def test_describe(self):
+        statistics = ErrorStatistics()
+        assert statistics.describe_second_order(("deletion", "A", "")) == "del A"
+        assert statistics.describe_second_order(("insertion", "", "G")) == "ins G"
+        assert (
+            statistics.describe_second_order(("substitution", "T", "C"))
+            == "sub T->C"
+        )
+
+
+class TestPoolTally:
+    def test_tally_pool_caps_copies(self, small_pool):
+        statistics = ErrorStatistics()
+        statistics.tally_pool(small_pool, max_copies_per_cluster=1)
+        assert statistics.pair_count == 2  # erasure cluster contributes none
+
+    def test_tally_pool_all_copies(self, small_pool):
+        statistics = ErrorStatistics()
+        statistics.tally_pool(small_pool)
+        assert statistics.pair_count == 6

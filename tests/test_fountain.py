@@ -1,0 +1,124 @@
+"""Unit and property tests for the LT fountain code."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.fountain import (
+    Droplet,
+    FountainDecodeError,
+    FountainDecoder,
+    FountainEncoder,
+    fountain_decode,
+    fountain_encode,
+    robust_soliton,
+)
+
+
+class TestRobustSoliton:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 10, 100])
+    def test_is_probability_distribution(self, n_chunks):
+        distribution = robust_soliton(n_chunks)
+        assert len(distribution) == n_chunks
+        assert sum(distribution) == pytest.approx(1.0)
+        assert all(p >= 0 for p in distribution)
+
+    def test_degree_one_mass_nonzero(self):
+        # The peeling decoder needs degree-1 droplets to start.
+        assert robust_soliton(50)[0] > 0.01
+
+    def test_invalid_n_chunks(self):
+        with pytest.raises(ValueError):
+            robust_soliton(0)
+
+
+class TestEncoder:
+    def test_droplet_stream_deterministic_per_seed(self):
+        chunks = [b"aa", b"bb", b"cc"]
+        first = FountainEncoder(chunks, seed=5).droplets(10)
+        second = FountainEncoder(chunks, seed=5).droplets(10)
+        assert first == second
+
+    def test_unequal_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            FountainEncoder([b"a", b"bb"])
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            FountainEncoder([])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FountainEncoder([b"ab"]).droplets(-1)
+
+    def test_single_chunk_droplets_are_the_chunk(self):
+        encoder = FountainEncoder([b"xy"], seed=0)
+        for droplet in encoder.droplets(5):
+            assert droplet.payload == b"xy"
+
+
+class TestDecoder:
+    def test_roundtrip_with_overhead(self):
+        data = bytes(range(200))
+        droplets, n_chunks = fountain_encode(data, chunk_size=16, seed=3)
+        assert fountain_decode(droplets, n_chunks, 16, len(data)) == data
+
+    def test_erasure_resilience(self):
+        """Losing a third of the droplets still decodes with enough
+        overhead — the point of a fountain code for DNA erasures."""
+        data = bytes(range(240))
+        droplets, n_chunks = fountain_encode(
+            data, chunk_size=16, overhead=1.5, seed=4
+        )
+        rng = random.Random(9)
+        surviving = [d for d in droplets if rng.random() > 0.33]
+        assert fountain_decode(surviving, n_chunks, 16, len(data)) == data
+
+    def test_insufficient_droplets_raise(self):
+        data = bytes(range(160))
+        droplets, n_chunks = fountain_encode(data, chunk_size=16, seed=5)
+        with pytest.raises(FountainDecodeError):
+            fountain_decode(droplets[:2], n_chunks, 16, len(data))
+
+    def test_wrong_payload_size_rejected(self):
+        decoder = FountainDecoder(4, chunk_size=8)
+        with pytest.raises(ValueError):
+            decoder.add_droplet(Droplet(1, b"short"))
+
+    def test_droplet_order_irrelevant(self):
+        data = bytes(range(120))
+        droplets, n_chunks = fountain_encode(
+            data, chunk_size=8, overhead=0.8, seed=6
+        )
+        shuffled = list(droplets)
+        random.Random(1).shuffle(shuffled)
+        assert fountain_decode(shuffled, n_chunks, 8, len(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=150),
+        seed=st.integers(0, 1000),
+    )
+    def test_roundtrip_property(self, data, seed):
+        """The fountain property: *some* finite number of droplets always
+        suffices (decoding is probabilistic, so keep drawing)."""
+        chunk_size = 8
+        chunks = []
+        for start in range(0, len(data), chunk_size):
+            chunk = data[start : start + chunk_size]
+            chunks.append(chunk + bytes(chunk_size - len(chunk)))
+        encoder = FountainEncoder(chunks, seed)
+        decoder = FountainDecoder(len(chunks), chunk_size)
+        for _ in range(20 * len(chunks) + 40):
+            decoder.add_droplet(encoder.droplet())
+            if decoder.is_complete:
+                break
+        assert decoder.data()[: len(data)] == data
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            fountain_encode(b"data", chunk_size=0)

@@ -1,0 +1,150 @@
+"""Property-based fuzzing of cross-cutting invariants.
+
+These tests throw randomised inputs at whole subsystems and check the
+invariants that every component implicitly relies on: channels emit valid
+DNA, reconstructors never crash on degenerate clusters, profiles always
+produce executable models, and the simulator is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.alphabet import is_valid_strand
+from repro.core.channel import Channel
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.simulator import Simulator
+from repro.core.strand import Cluster, StrandPool
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.majority import PositionalMajority
+from repro.reconstruct.msa import StarMSAConsensus
+from repro.reconstruct.two_way import TwoWayIterative
+
+dna = st.text(alphabet="ACGT", max_size=30)
+rates = st.floats(0.0, 0.2)
+
+RECONSTRUCTORS = [
+    BMALookahead(),
+    DividerBMA(),
+    IterativeReconstruction(),
+    TwoWayIterative(),
+    PositionalMajority(),
+    StarMSAConsensus(),
+]
+
+
+class TestChannelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(reference=dna, p_ins=rates, p_del=rates, p_sub=rates,
+           seed=st.integers(0, 10_000))
+    def test_output_is_valid_dna(self, reference, p_ins, p_del, p_sub, seed):
+        channel = Channel(
+            ErrorModel.naive(p_ins, p_del, p_sub), random.Random(seed)
+        )
+        copy = channel.transmit(reference)
+        assert is_valid_strand(copy)
+
+    @settings(max_examples=40, deadline=None)
+    @given(reference=dna, p_del=rates, seed=st.integers(0, 10_000))
+    def test_length_bounds(self, reference, p_del, seed):
+        # With no insertions the copy can never exceed the reference; with
+        # no deletions it can never be shorter.
+        deleting = Channel(
+            ErrorModel.naive(0.0, p_del, 0.1), random.Random(seed)
+        )
+        assert len(deleting.transmit(reference)) <= len(reference)
+        inserting = Channel(
+            ErrorModel.naive(p_del, 0.0, 0.1), random.Random(seed)
+        )
+        assert len(inserting.transmit(reference)) >= len(reference)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_error_rate_measured_matches_model(self, seed):
+        model = ErrorModel.naive(0.01, 0.02, 0.03)
+        channel = Channel(model, random.Random(seed))
+        statistics = ErrorStatistics()
+        reference = "ACGT" * 30
+        for _ in range(60):
+            statistics.tally_pair(reference, channel.transmit(reference))
+        assert statistics.aggregate_error_rate() == pytest.approx(
+            model.aggregate_error_rate(), rel=0.5
+        )
+
+
+class TestReconstructorRobustness:
+    @pytest.mark.parametrize(
+        "reconstructor", RECONSTRUCTORS, ids=lambda r: r.name
+    )
+    @pytest.mark.parametrize(
+        "copies",
+        [
+            [""],
+            ["", ""],
+            ["A"],
+            ["A", "", "ACGT"],
+            ["ACGT" * 30],
+            ["AC", "ACGTACGTACGTACGTACGT"],
+        ],
+        ids=["empty", "two-empty", "single-base", "mixed", "long", "length-gap"],
+    )
+    def test_degenerate_clusters_never_crash(self, reconstructor, copies):
+        estimate = reconstructor.reconstruct(copies, 10)
+        assert is_valid_strand(estimate)
+
+    @pytest.mark.parametrize(
+        "reconstructor", RECONSTRUCTORS, ids=lambda r: r.name
+    )
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_clusters_produce_valid_dna(self, reconstructor, data):
+        n_copies = data.draw(st.integers(1, 6))
+        copies = [data.draw(dna) for _ in range(n_copies)]
+        length = data.draw(st.integers(1, 35))
+        estimate = reconstructor.reconstruct(copies, length)
+        assert is_valid_strand(estimate)
+        assert len(estimate) <= length + 1
+
+
+class TestProfileToModelPipeline:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_any_profiled_pool_yields_executable_models(self, seed):
+        rng = random.Random(seed)
+        clusters = []
+        for _ in range(5):
+            reference = "".join(rng.choice("ACGT") for _ in range(40))
+            copies = [
+                "".join(
+                    base for base in reference if rng.random() > 0.05
+                )
+                for _ in range(3)
+            ]
+            clusters.append(Cluster(reference, copies))
+        profile = ErrorProfile.from_pool(StrandPool(clusters))
+        for stage in SimulatorStage:
+            model = profile.model_for_stage(stage)
+            simulator = Simulator(model, ConstantCoverage(2), seed=seed)
+            pool = simulator.simulate([clusters[0].reference])
+            for copy in pool[0].copies:
+                assert is_valid_strand(copy)
+
+
+class TestSimulatorReproducibility:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bitwise_reproducible(self, seed):
+        model = ErrorModel.naive(0.03, 0.03, 0.03)
+        references = ["ACGTACGTACGTACGTACGT"] * 4
+        first = Simulator(model, ConstantCoverage(3), seed).simulate(references)
+        second = Simulator(model, ConstantCoverage(3), seed).simulate(references)
+        assert first.all_copies() == second.all_copies()

@@ -1,0 +1,124 @@
+"""Unit and property tests for repro.align.gestalt."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.gestalt import (
+    aligned_segments,
+    gestalt_error_positions,
+    gestalt_score,
+    matching_blocks,
+)
+
+dna = st.text(alphabet="ACGT", max_size=30)
+text = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", max_size=20)
+
+
+class TestMatchingBlocks:
+    def test_identical_strings_one_block(self):
+        blocks = matching_blocks("ACGT", "ACGT")
+        assert len(blocks) == 1
+        assert blocks[0].size == 4
+
+    def test_disjoint_strings_no_blocks(self):
+        assert matching_blocks("AAAA", "TTTT") == []
+
+    def test_wikimedia_example(self):
+        """The paper's Fig. 3.1: WIKIM and IA match; ED/AN differ."""
+        blocks = matching_blocks("WIKIMEDIA", "WIKIMANIA")
+        matched = [("WIKIMEDIA"[b.first_start : b.first_start + b.size]) for b in blocks]
+        assert "WIKIM" in matched
+        assert "IA" in matched
+
+    def test_blocks_sorted_and_non_overlapping(self):
+        blocks = matching_blocks("ACGTACGT", "ACGGACGT")
+        previous_end = 0
+        for block in blocks:
+            assert block.first_start >= previous_end
+            previous_end = block.first_start + block.size
+
+    @given(dna, dna)
+    def test_blocks_describe_equal_substrings(self, first, second):
+        for block in matching_blocks(first, second):
+            assert (
+                first[block.first_start : block.first_start + block.size]
+                == second[block.second_start : block.second_start + block.size]
+            )
+
+    @given(dna)
+    def test_self_match_is_total(self, strand):
+        blocks = matching_blocks(strand, strand)
+        assert sum(block.size for block in blocks) == len(strand)
+
+
+class TestGestaltScore:
+    def test_empty_strings_score_one(self):
+        assert gestalt_score("", "") == 1.0
+
+    def test_identical_score_one(self):
+        assert gestalt_score("ACGT", "ACGT") == 1.0
+
+    def test_disjoint_score_zero(self):
+        assert gestalt_score("AAAA", "TTTT") == 0.0
+
+    def test_wikimedia_score(self):
+        # 7 matched characters of 9+9 -> 14/18.
+        assert gestalt_score("WIKIMEDIA", "WIKIMANIA") == pytest.approx(14 / 18)
+
+    @given(text, text)
+    def test_score_in_unit_interval(self, first, second):
+        assert 0.0 <= gestalt_score(first, second) <= 1.0
+
+    @given(dna, dna)
+    def test_deletion_decreases_score_monotonically(self, first, second):
+        # Removing a character can only reduce the total match by <= 1.
+        if first:
+            shorter = first[1:]
+            full = gestalt_score(first, first)
+            partial = gestalt_score(shorter, first)
+            assert partial <= full
+
+
+class TestErrorPositions:
+    def test_paper_worked_example(self):
+        """Reference AGTC, copy ATC: gestalt-aligned error only at position
+        1, the deleted G (Section 3.2)."""
+        assert gestalt_error_positions("AGTC", "ATC") == [1]
+
+    def test_identical_no_errors(self):
+        assert gestalt_error_positions("ACGT", "ACGT") == []
+
+    def test_fully_different(self):
+        assert gestalt_error_positions("AAA", "TTT") == [0, 1, 2]
+
+    @given(dna, dna)
+    def test_positions_within_reference(self, reference, other):
+        positions = gestalt_error_positions(reference, other)
+        assert all(0 <= position < len(reference) for position in positions)
+
+    @given(dna, dna)
+    def test_error_count_complements_matches(self, reference, other):
+        matched = sum(b.size for b in matching_blocks(reference, other))
+        errors = len(gestalt_error_positions(reference, other))
+        assert matched + errors == len(reference)
+
+
+class TestAlignedSegments:
+    def test_segments_reassemble_inputs(self):
+        segments = aligned_segments("WIKIMEDIA", "WIKIMANIA")
+        assert "".join(part for _tag, part, _o in segments) == "WIKIMEDIA"
+        assert "".join(part for _tag, _r, part in segments) == "WIKIMANIA"
+
+    def test_match_segments_are_equal(self):
+        for tag, ref_part, other_part in aligned_segments("ACGTAC", "ACTTAC"):
+            if tag == "match":
+                assert ref_part == other_part
+
+    @given(dna, dna)
+    def test_segments_always_reassemble(self, reference, other):
+        segments = aligned_segments(reference, other)
+        assert "".join(part for _t, part, _o in segments) == reference
+        assert "".join(part for _t, _r, part in segments) == other

@@ -1,0 +1,113 @@
+"""Field-axiom and polynomial tests for GF(256) arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pipeline.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert gf_add(a, b) == a ^ b == gf_add(b, a)
+
+    @given(elements)
+    def test_additive_inverse_is_self(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    @given(elements, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    @given(nonzero)
+    def test_pow_cycle(self, a):
+        # The multiplicative group has order 255.
+        assert gf_pow(a, 255) == 1
+
+    def test_pow_zero_exponent(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(7, 0) == 1
+
+
+class TestPolynomials:
+    def test_poly_eval_horner(self):
+        # p(x) = 2x^2 + 3x + 1 over GF(256) at x = 1: 2 ^ 3 ^ 1 = 0.
+        assert poly_eval([2, 3, 1], 1) == 0
+
+    def test_poly_eval_at_zero_gives_constant(self):
+        assert poly_eval([7, 9, 5], 0) == 5
+
+    @given(st.lists(elements, min_size=1, max_size=8), elements)
+    def test_poly_scale_matches_pointwise(self, coefficients, scalar):
+        scaled = poly_scale(coefficients, scalar)
+        assert scaled == [gf_mul(c, scalar) for c in coefficients]
+
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.lists(elements, min_size=1, max_size=6),
+        elements,
+    )
+    def test_poly_mul_consistent_with_eval(self, first, second, point):
+        product = poly_mul(first, second)
+        assert poly_eval(product, point) == gf_mul(
+            poly_eval(first, point), poly_eval(second, point)
+        )
+
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.lists(elements, min_size=1, max_size=6),
+        elements,
+    )
+    def test_poly_add_consistent_with_eval(self, first, second, point):
+        total = poly_add(first, second)
+        assert poly_eval(total, point) == gf_add(
+            poly_eval(first, point), poly_eval(second, point)
+        )

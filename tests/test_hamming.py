@@ -1,0 +1,71 @@
+"""Unit tests for repro.align.hamming."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.hamming import (
+    hamming_distance,
+    hamming_error_positions,
+    normalized_hamming_distance,
+)
+
+dna = st.text(alphabet="ACGT", max_size=30)
+
+
+class TestHammingDistance:
+    @pytest.mark.parametrize(
+        "first, second, expected",
+        [
+            ("", "", 0),
+            ("ACGT", "ACGT", 0),
+            ("ACGT", "ACGA", 1),
+            ("ACGT", "AC", 2),
+            ("AC", "ACGT", 2),
+            ("AAAA", "TTTT", 4),
+        ],
+    )
+    def test_known_values(self, first, second, expected):
+        assert hamming_distance(first, second) == expected
+
+    @given(dna, dna)
+    def test_symmetry(self, first, second):
+        assert hamming_distance(first, second) == hamming_distance(second, first)
+
+    @given(dna)
+    def test_identity(self, strand):
+        assert hamming_distance(strand, strand) == 0
+
+    @given(dna, dna)
+    def test_at_least_length_difference(self, first, second):
+        assert hamming_distance(first, second) >= abs(len(first) - len(second))
+
+
+class TestNormalized:
+    def test_empty_is_zero(self):
+        assert normalized_hamming_distance("", "") == 0.0
+
+    @given(dna, dna)
+    def test_unit_interval(self, first, second):
+        assert 0.0 <= normalized_hamming_distance(first, second) <= 1.0
+
+
+class TestErrorPositions:
+    def test_paper_worked_example(self):
+        """Reference AGTC, copy ATC: Hamming errors at positions 1, 2, 3
+        (Section 3.2)."""
+        assert hamming_error_positions("AGTC", "ATC") == [1, 2, 3]
+
+    def test_long_copy_tail_counts(self):
+        assert hamming_error_positions("AC", "ACGT") == [2, 3]
+
+    def test_identical_no_errors(self):
+        assert hamming_error_positions("ACGT", "ACGT") == []
+
+    @given(dna, dna)
+    def test_count_matches_distance(self, reference, other):
+        assert len(hamming_error_positions(reference, other)) == hamming_distance(
+            reference, other
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for repro.data.io (evyat-format file IO)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import (
+    read_pool,
+    read_references,
+    write_pool,
+    write_references,
+    write_reads,
+    read_reads,
+)
+from repro.core.strand import Cluster, StrandPool
+
+
+class TestPoolRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_pool, tmp_path):
+        path = tmp_path / "pool.txt"
+        write_pool(small_pool, path)
+        loaded = read_pool(path)
+        assert loaded.references == small_pool.references
+        for original, reloaded in zip(small_pool, loaded):
+            assert original.copies == reloaded.copies
+
+    def test_roundtrip_empty_pool(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_pool(StrandPool(), path)
+        assert len(read_pool(path)) == 0
+
+    def test_erasure_cluster_survives(self, tmp_path):
+        pool = StrandPool([Cluster("ACGT")])
+        path = tmp_path / "erasure.txt"
+        write_pool(pool, path)
+        loaded = read_pool(path)
+        assert loaded[0].is_erasure
+
+    def test_file_format_matches_dnasimulator_layout(self, small_pool, tmp_path):
+        path = tmp_path / "layout.txt"
+        write_pool(small_pool, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == small_pool[0].reference
+        assert set(lines[1]) == {"*"}
+
+
+class TestPoolParsingErrors:
+    def test_missing_separator_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("ACGT\nACGA\n")
+        with pytest.raises(ValueError, match="separator"):
+            read_pool(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.txt"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError, match="no separator"):
+            read_pool(path)
+
+    def test_invalid_base_rejected(self, tmp_path):
+        path = tmp_path / "badbase.txt"
+        path.write_text("ACXT\n*****\nACGT\n\n")
+        with pytest.raises(Exception):
+            read_pool(path)
+
+
+class TestReferenceFiles:
+    def test_references_roundtrip(self, tmp_path):
+        path = tmp_path / "refs.txt"
+        write_references(["ACGT", "TTTT"], path)
+        assert read_references(path) == ["ACGT", "TTTT"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "refs.txt"
+        path.write_text("ACGT\n\nTTTT\n\n")
+        assert read_references(path) == ["ACGT", "TTTT"]
+
+    def test_invalid_reference_rejected(self, tmp_path):
+        path = tmp_path / "refs.txt"
+        with pytest.raises(Exception):
+            write_references(["ACGU"], path)
+
+
+class TestReadFiles:
+    def test_reads_roundtrip(self, tmp_path):
+        path = tmp_path / "reads.txt"
+        write_reads(["ACGT", "ACGA", "AC"], path)
+        assert read_reads(path) == ["ACGT", "ACGA", "AC"]

@@ -1,0 +1,151 @@
+"""Unit tests for the metrics package (accuracy, curves, distances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strand import Cluster, StrandPool
+from repro.metrics.accuracy import (
+    evaluate_reconstruction,
+    per_character_accuracy,
+    per_strand_accuracy,
+)
+from repro.metrics.curves import (
+    curve_summary,
+    gestalt_error_curve,
+    hamming_error_curve,
+    post_reconstruction_curves,
+    pre_reconstruction_curves,
+)
+from repro.metrics.distance import (
+    chi_square_distance,
+    mean_gestalt_score,
+    mean_normalized_edit_distance,
+    mean_normalized_hamming_distance,
+    positional_profile_distance,
+)
+from repro.reconstruct.majority import PositionalMajority
+
+
+class TestAccuracy:
+    def test_per_strand_counts_exact_matches(self):
+        assert per_strand_accuracy(["ACGT", "TTTT"], ["ACGT", "TTTA"]) == 50.0
+
+    def test_per_strand_empty(self):
+        assert per_strand_accuracy([], []) == 0.0
+
+    def test_per_strand_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            per_strand_accuracy(["ACGT"], [])
+
+    def test_per_character_positional(self):
+        # Estimate shifted by one: only some positions line up.
+        assert per_character_accuracy(["AAAA"], ["AAAT"]) == 75.0
+
+    def test_per_character_short_estimate(self):
+        assert per_character_accuracy(["AAAA"], ["AA"]) == 50.0
+
+    def test_per_character_long_estimate_ignores_tail(self):
+        assert per_character_accuracy(["AAAA"], ["AAAATTTT"]) == 100.0
+
+    def test_evaluate_reconstruction_report(self, small_pool):
+        report = evaluate_reconstruction(small_pool, PositionalMajority(), 10)
+        assert report.n_clusters == 3
+        assert 0.0 <= report.per_strand <= 100.0
+        assert "per-strand" in str(report)
+
+    def test_evaluate_infers_strand_length(self, small_pool):
+        report = evaluate_reconstruction(small_pool, PositionalMajority())
+        assert report.n_clusters == 3
+
+    def test_evaluate_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_reconstruction(StrandPool(), PositionalMajority())
+
+    def test_erasures_count_as_failures(self):
+        pool = StrandPool([Cluster("ACGT")])
+        report = evaluate_reconstruction(pool, PositionalMajority(), 4)
+        assert report.per_strand == 0.0
+        assert report.per_character == 0.0
+
+
+class TestCurves:
+    def test_hamming_curve_accumulates(self):
+        curve = hamming_error_curve(["ACGT", "ACGT"], ["ACGA", "ACTT"])
+        assert curve[3] == 1
+        assert curve[2] == 1
+
+    def test_hamming_curve_extends_for_long_copies(self):
+        curve = hamming_error_curve(["AC"], ["ACGT"])
+        assert len(curve) == 4
+        assert curve[2] == 1 and curve[3] == 1
+
+    def test_gestalt_curve_localises_sources(self):
+        curve = gestalt_error_curve(["AGTC"], ["ATC"])
+        assert curve == [0, 1, 0, 0]
+
+    def test_curve_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_error_curve(["ACGT"], [])
+
+    def test_pre_reconstruction_curves(self, small_pool):
+        hamming, gestalt = pre_reconstruction_curves(small_pool)
+        assert sum(hamming) >= sum(gestalt)
+
+    def test_pre_reconstruction_copy_cap(self, small_pool):
+        full = pre_reconstruction_curves(small_pool)
+        capped = pre_reconstruction_curves(small_pool, max_copies_per_cluster=1)
+        assert sum(capped[0]) <= sum(full[0])
+
+    def test_post_reconstruction_curves(self, small_pool):
+        estimates = PositionalMajority().reconstruct_pool(small_pool, 10)
+        hamming, gestalt = post_reconstruction_curves(small_pool, estimates)
+        assert len(hamming) >= 10
+
+    def test_curve_summary_bins(self):
+        summary = curve_summary([1] * 10, bins=5)
+        assert summary == [2, 2, 2, 2, 2]
+
+    def test_curve_summary_empty(self):
+        assert curve_summary([], bins=3) == [0, 0, 0]
+
+    def test_curve_summary_invalid_bins(self):
+        with pytest.raises(ValueError):
+            curve_summary([1], bins=0)
+
+
+class TestDistances:
+    def test_chi_square_identical_is_zero(self):
+        assert chi_square_distance([1, 2, 3], [2, 4, 6]) == pytest.approx(0.0)
+
+    def test_chi_square_disjoint_is_one(self):
+        assert chi_square_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_chi_square_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_distance([1], [1, 2])
+
+    def test_chi_square_zero_mass_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_distance([0, 0], [1, 2])
+
+    def test_mean_edit_distance_zero_for_clean_pool(self):
+        pool = StrandPool([Cluster("ACGT", ["ACGT", "ACGT"])])
+        assert mean_normalized_edit_distance(pool) == 0.0
+
+    def test_mean_hamming_at_least_edit(self, small_pool):
+        assert mean_normalized_hamming_distance(
+            small_pool
+        ) >= mean_normalized_edit_distance(small_pool)
+
+    def test_mean_gestalt_score_clean_pool(self):
+        pool = StrandPool([Cluster("ACGT", ["ACGT"])])
+        assert mean_gestalt_score(pool) == 1.0
+
+    def test_mean_metrics_empty_pool(self):
+        pool = StrandPool()
+        assert mean_normalized_edit_distance(pool) == 0.0
+        assert mean_gestalt_score(pool) == 1.0
+
+    def test_positional_profile_distance_pads(self):
+        assert positional_profile_distance([1, 1], [1, 1, 0]) == pytest.approx(0.0)

@@ -1,0 +1,175 @@
+"""Tests for the Star-MSA reconstructor and the multi-stage channel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ErrorModel
+from repro.metrics.accuracy import evaluate_reconstruction
+from repro.pipeline.decay import DecayParameters, StorageDecay
+from repro.pipeline.pcr import PCRAmplifier, PCRParameters
+from repro.pipeline.stages import (
+    StagedChannel,
+    default_sequencing_model,
+    default_staged_channel,
+    default_synthesis_model,
+)
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.msa import StarMSAConsensus
+from repro.reconstruct.majority import PositionalMajority
+from repro.core.alphabet import random_strand
+
+
+class TestStarMSA:
+    def test_empty_cluster(self):
+        assert StarMSAConsensus().reconstruct([], 10) == ""
+
+    def test_single_copy_passthrough(self):
+        assert StarMSAConsensus().reconstruct(["ACGTACGTAC"], 10) == "ACGTACGTAC"
+
+    def test_clean_copies_exact(self):
+        reference = "ACGTACGTACGTACGT"
+        assert (
+            StarMSAConsensus().reconstruct([reference] * 4, 16) == reference
+        )
+
+    def test_outvotes_substitution(self):
+        reference = "ACGTACGTACGTACGT"
+        copies = [reference, reference, "ACGTACCTACGTACGT"]
+        assert StarMSAConsensus().reconstruct(copies, 16) == reference
+
+    def test_outvotes_deletion(self):
+        reference = "ACGTACGTACGTACGT"
+        copies = [reference, reference, "ACGTCGTACGTACGT"]
+        assert StarMSAConsensus().reconstruct(copies, 16) == reference
+
+    def test_centre_choice_minimises_distance(self):
+        consensus = StarMSAConsensus()
+        copies = ["AAAA", "AAAT", "TTTT"]
+        # "AAAA"/"AAAT" are near each other; "TTTT" is the outlier.
+        assert consensus._choose_centre(copies) in ("AAAA", "AAAT")
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            StarMSAConsensus(max_centre_candidates=0)
+
+    def test_beats_unaligned_majority_on_noisy_cluster(self, uniform_pool):
+        msa = evaluate_reconstruction(uniform_pool, StarMSAConsensus())
+        majority = evaluate_reconstruction(uniform_pool, PositionalMajority())
+        assert msa.per_strand > majority.per_strand
+
+
+class TestStagedChannel:
+    @pytest.fixture(scope="class")
+    def references(self):
+        rng = random.Random(8)
+        return [random_strand(110, rng) for _ in range(30)]
+
+    def test_all_stages_produce_pool(self, references):
+        channel = default_staged_channel(seed=1, reads_per_strand=8)
+        pool = channel.simulate(references)
+        assert len(pool) == len(references)
+        assert pool.total_copies > 0
+        report = channel.last_report
+        assert report is not None
+        assert report.molecules_after_pcr > report.synthesized
+        assert report.molecules_after_decay <= report.molecules_after_pcr
+
+    def test_no_stages_is_clean_sampling(self, references):
+        channel = StagedChannel(reads_per_strand=5, rng=random.Random(2))
+        pool = channel.simulate(references)
+        for cluster in pool:
+            for copy in cluster.copies:
+                assert copy == cluster.reference
+
+    def test_sequencing_only(self, references):
+        channel = StagedChannel(
+            sequencing=ErrorModel.naive(0.01, 0.01, 0.01),
+            reads_per_strand=5,
+            rng=random.Random(3),
+        )
+        pool = channel.simulate(references)
+        noisy = sum(
+            1
+            for cluster in pool
+            for copy in cluster.copies
+            if copy != cluster.reference
+        )
+        assert noisy > 0
+
+    def test_pcr_bias_skews_coverage(self, references):
+        channel = StagedChannel(
+            pcr=PCRAmplifier(
+                PCRParameters(substitution_rate=0.0), random.Random(4)
+            ),
+            pcr_cycles=10,
+            reads_per_strand=10,
+            rng=random.Random(4),
+        )
+        pool = channel.simulate(references)
+        coverages = pool.coverages()
+        # Branching amplification produces non-constant coverage.
+        assert max(coverages) > min(coverages)
+
+    def test_decay_reduces_molecules(self, references):
+        channel = StagedChannel(
+            decay=StorageDecay(
+                DecayParameters(half_life_years=10.0), random.Random(5)
+            ),
+            storage_years=20.0,
+            reads_per_strand=5,
+            rng=random.Random(5),
+        )
+        channel.simulate(references)
+        report = channel.last_report
+        assert report.molecules_after_decay < report.synthesized
+
+    def test_invalid_reads_per_strand(self):
+        with pytest.raises(ValueError):
+            StagedChannel(reads_per_strand=0)
+
+    def test_default_models_have_expected_biases(self):
+        synthesis = default_synthesis_model()
+        sequencing = default_sequencing_model()
+        assert synthesis.deletion_rate["A"] > synthesis.substitution_rate["A"]
+        assert sequencing.substitution_rate["A"] > sequencing.deletion_rate["A"]
+
+    def test_staged_output_is_reconstructable(self, references):
+        channel = default_staged_channel(seed=6, reads_per_strand=8)
+        pool = channel.simulate(references)
+        populated = pool.with_min_coverage(3)
+        if len(populated) >= 5:
+            report = evaluate_reconstruction(populated, BMALookahead())
+            assert report.per_character > 60.0
+
+
+class TestGeneralizedModel:
+    def test_generalized_model_builds(self, nanopore_pool):
+        from repro.core.profile import ErrorProfile
+
+        profile = ErrorProfile.from_pool(nanopore_pool, max_copies_per_cluster=3)
+        model = profile.generalized_model()
+        assert len(model.second_order_errors) > 10
+        # Aggregate error preserved within tolerance.
+        assert model.aggregate_error_rate() == pytest.approx(
+            profile.statistics.aggregate_error_rate(), rel=0.25
+        )
+
+    def test_generalized_model_uses_full_histograms(self, nanopore_pool):
+        from repro.core.profile import ErrorProfile
+        from repro.core.spatial import HistogramSpatial
+
+        profile = ErrorProfile.from_pool(nanopore_pool, max_copies_per_cluster=3)
+        model = profile.generalized_model(top=5)
+        histogram_spatials = [
+            error.spatial
+            for error in model.second_order_errors
+            if isinstance(error.spatial, HistogramSpatial)
+        ]
+        assert histogram_spatials
+        # Full histograms have many distinct values, unlike the
+        # three-position fit whose interior is constant.
+        raw = histogram_spatials[0].histogram
+        assert len(set(raw)) > 4

@@ -1,0 +1,105 @@
+"""Calibration tests for the synthetic Nanopore wetlab substitute.
+
+These assert the dataset-level statistics the paper reports for the real
+Microsoft Nanopore dataset (DESIGN.md section 1's substitution table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.data.nanopore import (
+    NanoporeParameters,
+    ground_truth_coverage,
+    ground_truth_model,
+    make_nanopore_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def measured(request):
+    pool = request.getfixturevalue("nanopore_pool")
+    statistics = ErrorStatistics()
+    statistics.tally_pool(pool, max_copies_per_cluster=4)
+    return pool, statistics
+
+
+class TestDatasetShape:
+    def test_default_strand_length(self, measured):
+        pool, _stats = measured
+        assert all(len(cluster.reference) == 110 for cluster in pool)
+
+    def test_mean_coverage_near_paper(self, measured):
+        pool, _stats = measured
+        assert pool.mean_coverage == pytest.approx(26.97, rel=0.2)
+
+    def test_constant_coverage_override(self):
+        pool = make_nanopore_dataset(
+            n_clusters=5, seed=0, constant_coverage=3
+        )
+        assert pool.coverages() == [3] * 5
+
+    def test_seed_reproducibility(self):
+        first = make_nanopore_dataset(n_clusters=5, seed=11)
+        second = make_nanopore_dataset(n_clusters=5, seed=11)
+        assert first.references == second.references
+        assert first.all_copies() == second.all_copies()
+
+    def test_different_seeds_differ(self):
+        first = make_nanopore_dataset(n_clusters=5, seed=1)
+        second = make_nanopore_dataset(n_clusters=5, seed=2)
+        assert first.references != second.references
+
+
+class TestErrorCalibration:
+    def test_aggregate_error_near_paper(self, measured):
+        _pool, stats = measured
+        # Paper: ~5.9% aggregate error.
+        assert stats.aggregate_error_rate() == pytest.approx(0.059, rel=0.2)
+
+    def test_terminal_skew_end_twice_start(self, measured):
+        _pool, stats = measured
+        rates = stats.positional_error_rates()
+        start = sum(rates[:3]) / 3
+        end = sum(rates[-3:]) / 3
+        assert end / start == pytest.approx(2.0, rel=0.4)
+
+    def test_long_deletion_statistics(self, measured):
+        _pool, stats = measured
+        # Paper: p_ld = 0.33%, mean length 2.17.
+        assert stats.long_deletion_rate() == pytest.approx(0.0033, rel=0.5)
+        assert stats.mean_long_deletion_length() == pytest.approx(2.17, rel=0.2)
+
+    def test_transition_bias_dominates_substitutions(self, measured):
+        _pool, stats = measured
+        matrix = stats.substitution_matrix()
+        assert matrix["T"]["C"] > matrix["T"]["A"]
+        assert matrix["A"]["G"] > matrix["A"]["C"]
+
+    def test_top_second_order_errors_are_single_base(self, measured):
+        _pool, stats = measured
+        for key, _count in stats.top_second_order_errors(10):
+            kind, base, replacement = key
+            assert kind in ("insertion", "deletion", "substitution")
+            assert len(base) <= 1 and len(replacement) <= 1
+
+
+class TestModelConstruction:
+    def test_ground_truth_model_includes_unmodelled_effects(self):
+        model = ground_truth_model()
+        assert model.homopolymer_factor > 1.0
+        assert model.burst_rate > 0.0
+        assert len(model.second_order_errors) == 5
+
+    def test_ground_truth_coverage_has_erasures(self, rng):
+        coverage = ground_truth_coverage(mean_coverage=20.0)
+        draws = coverage.draw(3000, rng)
+        assert 0 in draws or NanoporeParameters().erasure_probability < 0.01
+
+    def test_parameters_are_overridable(self):
+        parameters = NanoporeParameters(substitution_rate=0.0, deletion_rate=0.0,
+                                        insertion_rate=0.0, long_deletion_rate=0.0,
+                                        burst_rate=0.0)
+        model = ground_truth_model(parameters)
+        assert model.substitution_rate["A"] == 0.0

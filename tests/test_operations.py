@@ -1,0 +1,120 @@
+"""Unit and property tests for repro.align.operations (Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.align.edit_distance import edit_distance
+from repro.align.operations import (
+    EditOp,
+    OpKind,
+    apply_operations,
+    deletion_runs,
+    edit_operations,
+    error_operations,
+)
+
+dna = st.text(alphabet="ACGT", max_size=30)
+
+
+class TestEditOperations:
+    def test_equal_strings_all_equal_ops(self):
+        operations = edit_operations("ACGT", "ACGT")
+        assert [op.kind for op in operations] == [OpKind.EQUAL] * 4
+
+    def test_single_deletion(self):
+        operations = error_operations("ACGT", "AGT")
+        assert len(operations) == 1
+        assert operations[0].kind is OpKind.DELETION
+        assert operations[0].reference_base == "C"
+        assert operations[0].reference_position == 1
+
+    def test_single_insertion(self):
+        operations = error_operations("ACGT", "ACTGT")
+        assert len(operations) == 1
+        assert operations[0].kind is OpKind.INSERTION
+        assert operations[0].copy_base == "T"
+
+    def test_single_substitution(self):
+        operations = error_operations("ACGT", "ATGT")
+        assert len(operations) == 1
+        operation = operations[0]
+        assert operation.kind is OpKind.SUBSTITUTION
+        assert (operation.reference_base, operation.copy_base) == ("C", "T")
+
+    def test_paper_worked_example(self):
+        """Reference AGCG, copy AGG: maximum-likelihood single deletion of
+        C (Section 3.3.1's example)."""
+        operations = error_operations("AGCG", "AGG")
+        assert [op.describe() for op in operations] == ["del C@2"]
+
+    @given(dna, dna)
+    def test_error_count_equals_edit_distance(self, reference, copy):
+        assert len(error_operations(reference, copy)) == edit_distance(
+            reference, copy
+        )
+
+    @given(dna, dna)
+    def test_roundtrip_applies_to_copy(self, reference, copy):
+        operations = edit_operations(reference, copy)
+        assert apply_operations(reference, operations) == copy
+
+    @given(dna, dna)
+    def test_random_tiebreak_still_optimal(self, reference, copy):
+        rng = random.Random(7)
+        operations = edit_operations(reference, copy, rng)
+        errors = [op for op in operations if op.is_error]
+        assert len(errors) == edit_distance(reference, copy)
+        assert apply_operations(reference, operations) == copy
+
+    @given(dna, dna)
+    def test_operations_ordered_by_reference_position(self, reference, copy):
+        operations = edit_operations(reference, copy)
+        positions = [op.reference_position for op in operations]
+        assert positions == sorted(positions)
+
+    def test_describe_formats(self):
+        assert EditOp(OpKind.EQUAL, 0, "A", "A").describe() == "eq A@0"
+        assert EditOp(OpKind.INSERTION, 3, "", "G").describe() == "ins G@3"
+        assert (
+            EditOp(OpKind.SUBSTITUTION, 2, "A", "C").describe() == "sub A->C@2"
+        )
+
+    def test_is_error_flags(self):
+        assert not EditOp(OpKind.EQUAL, 0, "A", "A").is_error
+        assert EditOp(OpKind.DELETION, 0, "A", "").is_error
+
+
+class TestDeletionRuns:
+    def test_consecutive_deletions_grouped(self):
+        operations = error_operations("AACCGGTT", "AAGGTT")
+        runs = deletion_runs(operations)
+        assert runs == [(2, 2)]
+
+    def test_separate_deletions_not_grouped(self):
+        operations = error_operations("ACGTACGT", "CGTACG")
+        runs = deletion_runs(operations)
+        assert all(length == 1 for _start, length in runs)
+
+    def test_long_run(self):
+        operations = error_operations("ACGTACGTAC", "ACAC")
+        # Six deletions total, grouped into long runs (the exact grouping
+        # depends on which optimal alignment the backtrace picks).
+        runs = deletion_runs(operations)
+        assert sum(length for _start, length in runs) == 6
+        assert max(length for _start, length in runs) >= 2
+
+    def test_empty_operations(self):
+        assert deletion_runs([]) == []
+
+    def test_runs_ignore_other_ops_between(self):
+        operations = [
+            EditOp(OpKind.DELETION, 1, "C", ""),
+            EditOp(OpKind.SUBSTITUTION, 2, "G", "A"),
+            EditOp(OpKind.DELETION, 3, "T", ""),
+        ]
+        assert deletion_runs(operations) == [(1, 1), (3, 1)]

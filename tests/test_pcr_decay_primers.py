@@ -1,0 +1,148 @@
+"""Unit tests for the physical-process models: PCR, decay, primers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pipeline.decay import DecayParameters, StorageDecay
+from repro.pipeline.pcr import AmplifiedPool, PCRAmplifier, PCRParameters
+from repro.pipeline.primers import (
+    PrimerDesignError,
+    generate_primer_library,
+    is_valid_primer,
+    match_primer,
+)
+from repro.align.edit_distance import edit_distance
+from repro.core.alphabet import gc_content, longest_homopolymer
+
+
+class TestPCR:
+    def test_amplification_grows_population(self, rng):
+        amplifier = PCRAmplifier(rng=rng)
+        pool = amplifier.amplify(["ACGTACGTACGTACGTACGT"], cycles=8)
+        assert pool.copy_number(0) > 10
+
+    def test_zero_cycles_identity(self, rng):
+        amplifier = PCRAmplifier(rng=rng)
+        pool = amplifier.amplify(["ACGT"], cycles=0)
+        assert pool.copy_number(0) == 1
+
+    def test_negative_cycles_raises(self, rng):
+        with pytest.raises(ValueError):
+            PCRAmplifier(rng=rng).amplify(["ACGT"], cycles=-1)
+
+    def test_gc_bias_slows_extreme_strands(self, rng):
+        parameters = PCRParameters(substitution_rate=0.0)
+        amplifier = PCRAmplifier(parameters, rng)
+        balanced = "ACGT" * 10
+        extreme = "G" * 40
+        assert parameters.efficiency(balanced) > parameters.efficiency(extreme)
+        pools = amplifier.amplify([balanced] * 5 + [extreme] * 5, cycles=10)
+        balanced_mean = sum(pools.copy_number(i) for i in range(5)) / 5
+        extreme_mean = sum(pools.copy_number(i) for i in range(5, 10)) / 5
+        assert balanced_mean > extreme_mean
+
+    def test_off_target_strands_barely_amplify(self, rng):
+        amplifier = PCRAmplifier(rng=rng)
+        pool = amplifier.amplify(
+            ["ACGT" * 10, "TGCA" * 10],
+            cycles=10,
+            selected=[True, False],
+        )
+        assert pool.copy_number(0) > 5 * pool.copy_number(1)
+
+    def test_selected_flags_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            PCRAmplifier(rng=rng).amplify(["ACGT"], selected=[True, False])
+
+    def test_mutations_tracked_as_variants(self):
+        parameters = PCRParameters(substitution_rate=0.02)
+        amplifier = PCRAmplifier(parameters, random.Random(0))
+        pool = amplifier.amplify(["ACGT" * 10], cycles=10)
+        assert len(pool.molecules[0]) > 1  # at least one mutant variant
+
+    def test_sample_reads_proportional(self, rng):
+        pool = AmplifiedPool(molecules=[[("AAAA", 99)], [("CCCC", 1)]])
+        reads = pool.sample_reads(200, rng)
+        from collections import Counter
+
+        counts = Counter(index for index, _sequence in reads)
+        assert counts[0] > counts[1]
+
+    def test_sample_reads_empty_pool(self, rng):
+        pool = AmplifiedPool(molecules=[[("AAAA", 0)]])
+        assert pool.sample_reads(5, rng) == []
+
+
+class TestDecay:
+    def test_zero_years_no_loss(self, rng):
+        decay = StorageDecay(rng=rng)
+        assert decay.age_strand("ACGT", 0.0) == "ACGT"
+
+    def test_survival_probability_halves_at_half_life(self):
+        parameters = DecayParameters(half_life_years=100.0)
+        assert parameters.survival_probability(100.0) == pytest.approx(0.5)
+
+    def test_negative_years_raises(self):
+        with pytest.raises(ValueError):
+            DecayParameters().survival_probability(-1.0)
+
+    def test_long_storage_loses_strands(self, rng):
+        decay = StorageDecay(DecayParameters(half_life_years=10.0), rng)
+        aged = decay.age_pool(["ACGT"] * 500, years=30.0)
+        lost = sum(1 for strand in aged if strand is None)
+        assert lost / 500 == pytest.approx(1 - 0.5 ** 3, abs=0.08)
+
+    def test_deamination_damages_c_and_g_only(self):
+        decay = StorageDecay(
+            DecayParameters(half_life_years=1e9, deamination_rate_per_year=0.001),
+            random.Random(0),
+        )
+        aged = decay.age_strand("ACGT" * 100, years=500.0)
+        assert aged is not None
+        for original, after in zip("ACGT" * 100, aged):
+            if original != after:
+                assert (original, after) in {("C", "T"), ("G", "A")}
+
+    def test_expected_loss_fraction(self):
+        decay = StorageDecay(DecayParameters(half_life_years=100.0))
+        assert decay.expected_loss_fraction(100.0) == pytest.approx(0.5)
+
+
+class TestPrimers:
+    def test_valid_primer_constraints(self):
+        assert is_valid_primer("ACGTACGTACGTACGTACGT")
+        assert not is_valid_primer("AAAAACGTACGTACGTACGT")  # homopolymer
+        assert not is_valid_primer("ATATATATATATATATATAT")  # GC too low
+
+    def test_library_properties(self, rng):
+        library = generate_primer_library(6, rng, min_distance=8)
+        assert len(library) == 6
+        for primer in library:
+            assert len(primer) == 20
+            assert 0.4 <= gc_content(primer) <= 0.6
+            assert longest_homopolymer(primer) <= 2
+        for first_index, first in enumerate(library):
+            for second in library[first_index + 1 :]:
+                assert edit_distance(first, second) >= 8
+
+    def test_impossible_library_raises(self, rng):
+        with pytest.raises(PrimerDesignError):
+            generate_primer_library(
+                50, rng, length=4, min_distance=4, max_attempts_per_primer=5
+            )
+
+    def test_match_primer_tolerates_noise(self, rng):
+        library = generate_primer_library(4, rng, min_distance=8)
+        target = library[2]
+        noisy = "T" + target[2:]  # one substitution + one deletion
+        assert match_primer(noisy, library) == target
+
+    def test_match_primer_rejects_foreign(self, rng):
+        library = generate_primer_library(3, rng, min_distance=8)
+        assert match_primer("A" * 20, library, max_distance=3) is None
+
+    def test_zero_count_library(self, rng):
+        assert generate_primer_library(0, rng) == []

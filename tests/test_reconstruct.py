@@ -1,0 +1,152 @@
+"""Unit and behavioural tests for the trace-reconstruction algorithms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.simulator import Simulator
+from repro.core.spatial import VShapedSpatial
+from repro.metrics.accuracy import evaluate_reconstruction
+from repro.reconstruct.base import majority_symbol
+from repro.reconstruct.bma import BMALookahead, bma_forward_pass
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.majority import PositionalMajority
+from repro.reconstruct.two_way import TwoWayIterative
+
+ALL_RECONSTRUCTORS = [
+    PositionalMajority(),
+    BMALookahead(),
+    BMALookahead(two_way=False),
+    DividerBMA(),
+    IterativeReconstruction(),
+    TwoWayIterative(),
+]
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestMajoritySymbol:
+    def test_plurality_wins(self):
+        assert majority_symbol(["A", "A", "C"]) == "A"
+
+    def test_tie_breaks_lexicographically(self):
+        assert majority_symbol(["T", "G"]) == "G"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            majority_symbol([])
+
+
+@pytest.mark.parametrize("reconstructor", ALL_RECONSTRUCTORS, ids=lambda r: r.name)
+class TestCommonContract:
+    def test_empty_cluster_returns_empty(self, reconstructor):
+        assert reconstructor.reconstruct([], 10) == ""
+
+    def test_clean_copies_reconstruct_exactly(self, reconstructor):
+        reference = "ACGTACGTACGTACGTACGT"
+        copies = [reference] * 5
+        assert reconstructor.reconstruct(copies, len(reference)) == reference
+
+    def test_single_clean_copy(self, reconstructor):
+        reference = "ACGTACGTAC"
+        assert reconstructor.reconstruct([reference], 10) == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna)
+    def test_output_never_exceeds_design_length(self, reconstructor, reference):
+        estimate = reconstructor.reconstruct([reference, reference[1:]], len(reference))
+        assert len(estimate) <= len(reference) + 1  # majority may trail
+
+    def test_reconstruct_pool_order(self, reconstructor, small_pool):
+        estimates = reconstructor.reconstruct_pool(small_pool, 10)
+        assert len(estimates) == len(small_pool)
+        assert estimates[2] == ""  # the erasure cluster
+
+
+class TestBMA:
+    def test_outvotes_single_substitution(self):
+        reference = "ACGTACGTAC"
+        copies = [reference, reference, "ACGAACGTAC"]
+        assert BMALookahead().reconstruct(copies, 10) == reference
+
+    def test_outvotes_single_deletion(self):
+        reference = "ACGTACGTAC"
+        copies = [reference, reference, "ACGACGTAC"]
+        assert BMALookahead().reconstruct(copies, 10) == reference
+
+    def test_outvotes_single_insertion(self):
+        reference = "ACGTACGTAC"
+        copies = [reference, reference, "ACGTTACGTAC"]
+        assert BMALookahead().reconstruct(copies, 10) == reference
+
+    def test_forward_pass_pads_to_length(self):
+        estimate = bma_forward_pass(["AC", "AC"], 6)
+        assert len(estimate) == 6
+
+    def test_two_way_splits_at_midpoint(self):
+        # Forward and backward halves come from different passes; with
+        # clean copies they agree and reproduce the reference.
+        reference = "ACGTACGTACG"
+        assert BMALookahead(two_way=True).reconstruct([reference] * 3, 11) == reference
+
+    def test_one_way_name(self):
+        assert BMALookahead(two_way=False).name == "BMA (one-way)"
+
+
+class TestIterative:
+    def test_refines_substitutions(self):
+        reference = "ACGTACGTACGTACGTACGT"
+        copies = [
+            reference,
+            "ACGTACGAACGTACGTACGT",
+            "ACGTACGTACGTACCTACGT",
+            reference,
+            reference,
+        ]
+        assert IterativeReconstruction().reconstruct(copies, 20) == reference
+
+    def test_restores_majority_deleted_base(self):
+        reference = "ACGTACGTACGTACGTACGT"
+        # Two copies lost a base; three kept it.
+        copies = [reference, reference, reference,
+                  "ACGTACGACGTACGTACGT", "ACGTACGACGTACGTACGT"]
+        assert IterativeReconstruction().reconstruct(copies, 20) == reference
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            IterativeReconstruction(rounds=-1)
+
+    def test_beats_bma_on_noisy_data(self, uniform_pool):
+        bma = evaluate_reconstruction(uniform_pool, BMALookahead())
+        iterative = evaluate_reconstruction(uniform_pool, IterativeReconstruction())
+        assert iterative.per_strand > bma.per_strand
+
+
+class TestDividerBMA:
+    def test_exact_length_majority(self):
+        reference = "ACGTACGTAC"
+        copies = [reference, "ACGAACGTAC", reference, "ACGTACGTA"]
+        # Three exact-length copies out-vote the substitution.
+        assert DividerBMA().reconstruct(copies, 10) == reference
+
+    def test_falls_back_to_bma_without_exact_lengths(self):
+        reference = "ACGTACGTAC"
+        copies = [reference[:-1], reference + "A"]
+        estimate = DividerBMA().reconstruct(copies, 10)
+        assert len(estimate) == 10
+
+
+class TestTwoWayIterative:
+    def test_improves_on_end_skewed_data(self):
+        """The Section 4.3 claim: two-way execution helps when errors are
+        concentrated at strand ends."""
+        model = ErrorModel.uniform(0.10).with_spatial(VShapedSpatial())
+        pool = Simulator(model, ConstantCoverage(5), seed=3).simulate_random(80, 110)
+        one_way = evaluate_reconstruction(pool, IterativeReconstruction())
+        two_way = evaluate_reconstruction(pool, TwoWayIterative())
+        assert two_way.per_strand >= one_way.per_strand

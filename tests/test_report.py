@@ -1,0 +1,116 @@
+"""Unit tests for the SVG renderer and the report generator."""
+
+from __future__ import annotations
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.report.charts import (
+    bar_chart,
+    curve_chart,
+    grouped_bar_chart,
+    line_chart,
+)
+from repro.report.report import ReportBuilder, generate_report
+from repro.report.svg import SVGCanvas
+
+
+def assert_valid_svg(document: str) -> None:
+    parsed = xml.dom.minidom.parseString(document)
+    assert parsed.documentElement.tagName == "svg"
+
+
+class TestCanvas:
+    def test_coordinate_mapping_corners(self):
+        canvas = SVGCanvas(width=200, height=100)
+        canvas.set_ranges((0, 10), (0, 5))
+        assert canvas.x_pixel(0) == pytest.approx(canvas.margin_left)
+        assert canvas.x_pixel(10) == pytest.approx(
+            canvas.width - canvas.margin_right
+        )
+        assert canvas.y_pixel(0) == pytest.approx(
+            canvas.height - canvas.margin_bottom
+        )
+        assert canvas.y_pixel(5) == pytest.approx(canvas.margin_top)
+
+    def test_degenerate_range_widened(self):
+        canvas = SVGCanvas()
+        canvas.set_ranges((3, 3), (7, 7))
+        # Must not divide by zero.
+        canvas.x_pixel(3)
+        canvas.y_pixel(7)
+
+    def test_render_is_valid_xml(self):
+        canvas = SVGCanvas()
+        canvas.set_ranges((0, 1), (0, 1))
+        canvas.axes("x", "y")
+        canvas.title("A <title> & more")
+        canvas.polyline([(0, 0), (1, 1)], "#000000")
+        canvas.bar(0.5, 0.5, 0.1, "#ff0000")
+        canvas.legend([("series <1>", "#00ff00")])
+        assert_valid_svg(canvas.render())
+
+    def test_text_is_escaped(self):
+        canvas = SVGCanvas()
+        canvas.text(0, 0, "<script>")
+        assert "<script>" not in canvas.render()
+
+
+class TestCharts:
+    def test_line_chart_valid(self):
+        svg = line_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            title="t", x_label="x", y_label="y",
+        )
+        assert_valid_svg(svg)
+        assert "polyline" in svg
+
+    def test_line_chart_empty_series(self):
+        assert_valid_svg(line_chart({}, title="empty"))
+
+    def test_curve_chart_valid(self):
+        assert_valid_svg(curve_chart({"curve": [0, 3, 1, 4]}))
+
+    def test_bar_chart_valid(self):
+        svg = bar_chart([1.0, 2.5, 0.5], title="bars")
+        assert_valid_svg(svg)
+        assert svg.count("<rect") >= 4  # background + 3 bars
+
+    def test_bar_chart_empty(self):
+        assert_valid_svg(bar_chart([]))
+
+    def test_grouped_bar_chart_valid(self):
+        svg = grouped_bar_chart(
+            {"g1": {"a": 10.0, "b": 20.0}, "g2": {"a": 15.0}},
+            title="groups", y_label="value",
+        )
+        assert_valid_svg(svg)
+
+
+class TestReportBuilder:
+    def test_builder_writes_index_and_figures(self, tmp_path):
+        builder = ReportBuilder(tmp_path)
+        builder.heading("Section")
+        builder.paragraph("Some text with <angle brackets>.")
+        builder.table(["col"], [["value & more"]])
+        builder.figure(bar_chart([1.0]), "a figure")
+        index = builder.write("Title")
+        assert index.exists()
+        html = index.read_text()
+        assert "Section" in html
+        assert "&lt;angle brackets&gt;" in html
+        assert (tmp_path / "figure_01.svg").exists()
+
+
+class TestFullReport:
+    def test_generate_report_small_scale(self, tmp_path):
+        index = generate_report(tmp_path, n_clusters=30)
+        assert index.exists()
+        svgs = list(tmp_path.glob("*.svg"))
+        assert len(svgs) >= 15
+        for svg in svgs:
+            assert_valid_svg(svg.read_text())
+        html = index.read_text()
+        for marker in ("Table 2.1", "Fig. 3.3", "Appendix C", "Extensions"):
+            assert marker in html

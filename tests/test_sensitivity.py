@@ -1,0 +1,85 @@
+"""Unit tests for the sensitivity-analysis harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    make_references,
+    simulate_uniform,
+    sweep_error_and_coverage,
+    sweep_spatial,
+)
+from repro.core.spatial import AShapedSpatial, VShapedSpatial
+from repro.reconstruct.bma import BMALookahead
+
+
+class TestHelpers:
+    def test_make_references_deterministic(self):
+        assert make_references(5, 20, seed=1) == make_references(5, 20, seed=1)
+
+    def test_simulate_uniform_error_rate(self):
+        references = make_references(20, 110, seed=0)
+        pool = simulate_uniform(references, 0.09, 3, seed=0)
+        assert pool.mean_coverage == 3.0
+        from repro.analysis.error_stats import ErrorStatistics
+
+        statistics = ErrorStatistics()
+        statistics.tally_pool(pool)
+        assert statistics.aggregate_error_rate() == pytest.approx(0.09, rel=0.2)
+
+
+class TestSweeps:
+    def test_error_coverage_grid_shape(self):
+        points = sweep_error_and_coverage(
+            [BMALookahead()],
+            error_rates=[0.03, 0.09],
+            coverages=[3, 5],
+            n_strands=20,
+            seed=0,
+        )
+        assert len(points) == 4
+        assert {point.error_rate for point in points} == {0.03, 0.09}
+
+    def test_accuracy_decreases_with_error_rate(self):
+        points = sweep_error_and_coverage(
+            [BMALookahead()],
+            error_rates=[0.03, 0.15],
+            coverages=[5],
+            n_strands=40,
+            seed=0,
+        )
+        low, high = points[0].report, points[1].report
+        assert low.per_character > high.per_character
+
+    def test_accuracy_increases_with_coverage(self):
+        points = sweep_error_and_coverage(
+            [BMALookahead()],
+            error_rates=[0.09],
+            coverages=[3, 10],
+            n_strands=40,
+            seed=0,
+        )
+        sparse, dense = points[0].report, points[1].report
+        assert dense.per_character > sparse.per_character
+
+    def test_spatial_sweep_returns_curves(self):
+        points, curves = sweep_spatial(
+            [BMALookahead()],
+            {"A": AShapedSpatial(), "V": VShapedSpatial()},
+            n_strands=20,
+            seed=0,
+        )
+        assert len(points) == 2
+        assert len(curves) == 2
+        assert all(sum(curve.hamming_curve) >= 0 for curve in curves)
+
+    def test_spatial_sweep_without_curves(self):
+        points, curves = sweep_spatial(
+            [BMALookahead()],
+            {"A": AShapedSpatial()},
+            n_strands=10,
+            seed=0,
+            with_curves=False,
+        )
+        assert points and not curves

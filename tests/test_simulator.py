@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.simulator import Simulator
+
+
+class TestSimulator:
+    def test_simulate_pairs_references(self):
+        simulator = Simulator(ErrorModel.naive(0.01, 0.01, 0.01), seed=1)
+        references = ["ACGT" * 10, "TGCA" * 10]
+        pool = simulator.simulate(references)
+        assert pool.references == references
+        assert pool.coverages() == [5, 5]  # default coverage
+
+    def test_custom_coverage_model(self):
+        simulator = Simulator(
+            ErrorModel.naive(0.0, 0.0, 0.0), ConstantCoverage(3), seed=1
+        )
+        pool = simulator.simulate(["ACGT"])
+        assert pool[0].copies == ["ACGT"] * 3
+
+    def test_same_seed_reproducible(self):
+        def build():
+            return Simulator(
+                ErrorModel.naive(0.05, 0.05, 0.05), ConstantCoverage(4), seed=9
+            ).simulate(["ACGTACGTAC"] * 5)
+
+        first, second = build(), build()
+        for cluster_a, cluster_b in zip(first, second):
+            assert cluster_a.copies == cluster_b.copies
+
+    def test_different_seeds_differ(self):
+        references = ["ACGTACGTACGTACGT"] * 10
+        pool_a = Simulator(
+            ErrorModel.naive(0.1, 0.1, 0.1), ConstantCoverage(3), seed=1
+        ).simulate(references)
+        pool_b = Simulator(
+            ErrorModel.naive(0.1, 0.1, 0.1), ConstantCoverage(3), seed=2
+        ).simulate(references)
+        assert pool_a.all_copies() != pool_b.all_copies()
+
+    def test_simulate_random_generates_references(self):
+        simulator = Simulator(ErrorModel.naive(0.01, 0.01, 0.01), seed=0)
+        pool = simulator.simulate_random(7, 42)
+        assert len(pool) == 7
+        assert all(len(cluster.reference) == 42 for cluster in pool)
+
+    def test_simulate_like_matches_coverages(self, small_pool):
+        simulator = Simulator(ErrorModel.naive(0.0, 0.0, 0.0), seed=0)
+        mirrored = simulator.simulate_like(small_pool)
+        assert mirrored.coverages() == small_pool.coverages()
+        assert mirrored.references == small_pool.references
+
+    def test_fitted_constructor(self, nanopore_pool):
+        profile = ErrorProfile.from_pool(nanopore_pool, max_copies_per_cluster=2)
+        simulator = Simulator.fitted(
+            profile, SimulatorStage.CONDITIONAL, ConstantCoverage(2), seed=5
+        )
+        pool = simulator.simulate(nanopore_pool.references[:10])
+        assert len(pool) == 10
+        assert pool.coverages() == [2] * 10

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.core.spatial."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.spatial import (
+    AShapedSpatial,
+    HistogramSpatial,
+    PaperTerminalSkew,
+    TerminalSkew,
+    UniformSpatial,
+    VShapedSpatial,
+)
+
+ALL_DISTRIBUTIONS = [
+    UniformSpatial(),
+    TerminalSkew(),
+    TerminalSkew(start_boost=0.0, end_boost=3.0, decay=4.0),
+    AShapedSpatial(),
+    VShapedSpatial(),
+    HistogramSpatial([1.0, 2.0, 3.0, 2.0, 1.0]),
+    PaperTerminalSkew(),
+]
+
+
+@pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=repr)
+class TestNormalisationInvariants:
+    """Weights always have mean 1.0: spatial distributions redistribute
+    errors without changing the aggregate rate (Section 3.3.2/3.3.3)."""
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 110])
+    def test_mean_is_one(self, distribution, length):
+        weights = distribution.weights(length)
+        assert len(weights) == length
+        assert sum(weights) / length == pytest.approx(1.0)
+
+    def test_weights_non_negative(self, distribution):
+        assert all(weight >= 0 for weight in distribution.weights(50))
+
+    def test_zero_length(self, distribution):
+        assert distribution.weights(0) == []
+
+    def test_negative_length_raises(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.weights(-1)
+
+    def test_weight_accessor_matches_weights(self, distribution):
+        weights = distribution.weights(20)
+        assert distribution.weight(3, 20) == weights[3]
+
+
+class TestUniform:
+    def test_all_weights_equal(self):
+        assert UniformSpatial().weights(7) == [1.0] * 7
+
+
+class TestTerminalSkew:
+    def test_ends_heavier_than_middle(self):
+        weights = TerminalSkew().weights(110)
+        assert weights[0] > weights[55]
+        assert weights[-1] > weights[55]
+
+    def test_end_boost_controls_asymmetry(self):
+        weights = TerminalSkew(start_boost=2.0, end_boost=8.0).weights(110)
+        assert weights[-1] > weights[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TerminalSkew(start_boost=-1.0)
+        with pytest.raises(ValueError):
+            TerminalSkew(decay=0.0)
+
+
+class TestShapes:
+    def test_a_shape_peaks_in_middle(self):
+        weights = AShapedSpatial().weights(111)
+        assert weights[55] == max(weights)
+        assert weights[0] == pytest.approx(weights[-1])
+
+    def test_v_shape_peaks_at_ends(self):
+        weights = VShapedSpatial().weights(111)
+        assert weights[0] == max(weights)
+        assert weights[55] == min(weights)
+
+    def test_a_and_v_are_mirror_images(self):
+        a_raw = AShapedSpatial().raw_weights(20)
+        v_raw = VShapedSpatial().raw_weights(20)
+        assert all(
+            a + v == pytest.approx(1.0) for a, v in zip(a_raw, v_raw)
+        )
+
+    def test_single_position(self):
+        assert AShapedSpatial().weights(1) == [1.0]
+        assert VShapedSpatial().weights(1) == [1.0]
+
+
+class TestHistogram:
+    def test_same_length_preserves_shape(self):
+        weights = HistogramSpatial([1.0, 3.0]).weights(2)
+        assert weights == [0.5, 1.5]
+
+    def test_resampling_interpolates(self):
+        weights = HistogramSpatial([0.0, 1.0]).weights(3)
+        # Middle position interpolates to 0.5 before normalisation.
+        assert weights[1] == pytest.approx(1.0)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            HistogramSpatial([])
+
+    def test_negative_histogram_raises(self):
+        with pytest.raises(ValueError):
+            HistogramSpatial([1.0, -0.5])
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=2, max_size=30),
+        st.integers(1, 60),
+    )
+    def test_resampling_always_normalises(self, histogram, length):
+        distribution = HistogramSpatial(histogram)
+        weights = distribution.weights(length)
+        assert len(weights) == length
+        assert sum(weights) / length == pytest.approx(1.0)
+
+
+class TestPaperTerminalSkew:
+    def test_exactly_three_positions_boosted(self):
+        raw = PaperTerminalSkew(5.0, 10.0).raw_weights(50)
+        assert raw[0] == 5.0
+        assert raw[1] == 5.0
+        assert raw[-1] == 10.0
+        assert all(weight == 1.0 for weight in raw[2:-1])
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            PaperTerminalSkew(start_multiplier=-2.0)

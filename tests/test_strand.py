@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.strand (Cluster / StrandPool)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alphabet import AlphabetError
+from repro.core.strand import Cluster, StrandPool, paired_pools
+
+
+class TestCluster:
+    def test_coverage_counts_copies(self, small_cluster):
+        assert small_cluster.coverage == 4
+        assert len(small_cluster) == 4
+
+    def test_erasure_detection(self):
+        assert Cluster("ACGT").is_erasure
+        assert not Cluster("ACGT", ["ACGT"]).is_erasure
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(AlphabetError):
+            Cluster("ACXT")
+
+    def test_trimmed_keeps_prefix(self, small_cluster):
+        trimmed = small_cluster.trimmed(2)
+        assert trimmed.copies == small_cluster.copies[:2]
+        assert small_cluster.coverage == 4  # original untouched
+
+    def test_trimmed_beyond_coverage_keeps_all(self, small_cluster):
+        assert small_cluster.trimmed(10).coverage == 4
+
+    def test_trimmed_negative_raises(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.trimmed(-1)
+
+    def test_shuffled_is_permutation(self, small_cluster, rng):
+        shuffled = small_cluster.shuffled(rng)
+        assert sorted(shuffled.copies) == sorted(small_cluster.copies)
+
+    def test_add_copy_validates(self, small_cluster):
+        with pytest.raises(AlphabetError):
+            small_cluster.add_copy("AXGT")
+
+    def test_iteration_yields_copies(self, small_cluster):
+        assert list(small_cluster) == small_cluster.copies
+
+
+class TestStrandPool:
+    def test_from_references(self):
+        pool = StrandPool.from_references(["ACGT", "TTTT"])
+        assert pool.references == ["ACGT", "TTTT"]
+        assert all(cluster.is_erasure for cluster in pool)
+
+    def test_total_copies_and_mean(self, small_pool):
+        assert small_pool.total_copies == 6
+        assert small_pool.mean_coverage == pytest.approx(2.0)
+
+    def test_mean_coverage_empty_pool(self):
+        assert StrandPool().mean_coverage == 0.0
+
+    def test_erasure_count(self, small_pool):
+        assert small_pool.erasure_count == 1
+
+    def test_coverage_histogram(self, small_pool):
+        assert small_pool.coverage_histogram() == {4: 1, 2: 1, 0: 1}
+
+    def test_coverages_in_order(self, small_pool):
+        assert small_pool.coverages() == [4, 2, 0]
+
+    def test_coverage_stats(self, small_pool):
+        stats = small_pool.coverage_stats()
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 0.0
+        assert stats["max"] == 4.0
+
+    def test_coverage_stats_empty(self):
+        assert StrandPool().coverage_stats()["mean"] == 0.0
+
+    def test_with_min_coverage_filters(self, small_pool):
+        filtered = small_pool.with_min_coverage(2)
+        assert len(filtered) == 2
+        assert all(cluster.coverage >= 2 for cluster in filtered)
+
+    def test_trimmed_applies_to_all(self, small_pool):
+        trimmed = small_pool.trimmed(1)
+        assert trimmed.coverages() == [1, 1, 0]
+
+    def test_shuffled_copies_preserves_membership(self, small_pool, rng):
+        shuffled = small_pool.shuffled_copies(rng)
+        for original, after in zip(small_pool, shuffled):
+            assert sorted(original.copies) == sorted(after.copies)
+
+    def test_all_copies_flattens_in_order(self, small_pool):
+        reads = small_pool.all_copies()
+        assert len(reads) == 6
+        assert reads[:4] == small_pool[0].copies
+
+    def test_subsampled_size(self, small_pool, rng):
+        assert len(small_pool.subsampled(2, rng)) == 2
+
+    def test_subsampled_too_many_raises(self, small_pool, rng):
+        with pytest.raises(ValueError):
+            small_pool.subsampled(5, rng)
+
+    def test_getitem(self, small_pool, small_cluster):
+        assert small_pool[0].reference == small_cluster.reference
+
+    def test_fixed_coverage_protocol_prefix_property(self, rng):
+        """The paper's protocol: coverage i+1 differs from coverage i only
+        in the extra copy (Section 3.2)."""
+        cluster = Cluster("ACGT", [f"{'ACGT'}" for _ in range(10)])
+        pool = StrandPool([cluster]).shuffled_copies(random.Random(0))
+        lower = pool.trimmed(5)[0].copies
+        higher = pool.trimmed(6)[0].copies
+        assert higher[:5] == lower
+
+
+class TestPairedPools:
+    def test_pairs_references_with_copies(self):
+        pool = paired_pools(["ACGT"], [["ACGA", "ACGT"]])
+        assert pool[0].coverage == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_pools(["ACGT", "TTTT"], [["ACGT"]])

@@ -1,0 +1,83 @@
+"""Unit tests for the XOR physical-redundancy scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.xor_redundancy import (
+    XorRecoveryError,
+    decode_groups,
+    encode_groups,
+    encoded_length,
+    xor_bytes,
+)
+
+
+class TestXorBytes:
+    def test_xor_and_self_inverse(self):
+        a, b = b"\x0f\xf0", b"\xff\x00"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x01")
+
+
+class TestEncode:
+    def test_pair_produces_three_strands(self):
+        encoded = encode_groups([b"\x01\x02", b"\x03\x04"])
+        assert len(encoded) == 3
+        assert encoded[2] == b"\x02\x06"
+
+    def test_odd_trailing_payload_replicated(self):
+        encoded = encode_groups([b"\x01", b"\x02", b"\x03"])
+        assert len(encoded) == 5
+        assert encoded[3] == encoded[4] == b"\x03"
+
+    def test_empty_input(self):
+        assert encode_groups([]) == []
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValueError):
+            encode_groups([b"\x01", b"\x02\x03"])
+
+    @pytest.mark.parametrize("n, expected", [(0, 0), (1, 2), (2, 3), (3, 5), (4, 6)])
+    def test_encoded_length(self, n, expected):
+        assert encoded_length(n) == expected
+        payloads = [bytes([i]) for i in range(n)]
+        assert len(encode_groups(payloads)) == expected
+
+
+class TestDecode:
+    def test_full_group_decodes(self):
+        payloads = [b"\x01", b"\x02", b"\x03", b"\x04"]
+        encoded = encode_groups(payloads)
+        assert decode_groups(encoded, 4) == payloads
+
+    @pytest.mark.parametrize("missing", [0, 1, 2])
+    def test_any_single_loss_per_group_recovers(self, missing):
+        payloads = [b"\x0a", b"\x0b"]
+        received: list[bytes | None] = list(encode_groups(payloads))
+        received[missing] = None
+        assert decode_groups(received, 2) == payloads
+
+    def test_two_losses_in_group_fail(self):
+        received: list[bytes | None] = list(encode_groups([b"\x0a", b"\x0b"]))
+        received[0] = None
+        received[2] = None
+        with pytest.raises(XorRecoveryError):
+            decode_groups(received, 2)
+
+    def test_replicated_trailing_payload_survives_one_loss(self):
+        payloads = [b"\x01", b"\x02", b"\x03"]
+        received: list[bytes | None] = list(encode_groups(payloads))
+        received[4] = None
+        assert decode_groups(received, 3) == payloads
+
+    def test_replicated_trailing_both_lost_fails(self):
+        payloads = [b"\x01", b"\x02", b"\x03"]
+        received: list[bytes | None] = list(encode_groups(payloads))
+        received[3] = None
+        received[4] = None
+        with pytest.raises(XorRecoveryError):
+            decode_groups(received, 3)
