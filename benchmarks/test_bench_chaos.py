@@ -1,0 +1,34 @@
+"""E-X5 benchmark: archive recovery rate under injected-fault severity."""
+
+from conftest import run_once
+
+from repro.experiments import chaos
+
+
+def test_bench_chaos(benchmark):
+    result = run_once(benchmark, chaos.run)
+
+    # The acceptance bar: retrieval never leaks an exception, at any
+    # documented severity.
+    assert result["unhandled_errors"] == 0
+    rate = result["recovery_rate"]
+    fraction = result["mean_fraction"]
+    # No faults -> byte-exact recovery, first attempt.
+    assert rate["none"] == 1.0
+    assert result["mean_attempts"]["none"] == 1.0
+    # More faults can only hurt: the ladder's extremes bracket the rest.
+    assert rate["extreme"] <= rate["none"]
+    assert fraction["extreme"] <= fraction["none"]
+    for severity in result["severities"]:
+        assert 0.0 <= rate[severity] <= 1.0
+        assert 0.0 <= fraction[severity] <= 1.0
+        # Partial recovery never reports fewer bytes than exact trials
+        # alone would imply.
+        assert fraction[severity] >= rate[severity] - 1e-9
+    # Faults were actually injected at every non-clean severity.
+    assert result["fault_counts"]["none"] == 0
+    assert all(
+        result["fault_counts"][severity] > 0
+        for severity in result["severities"]
+        if severity != "none"
+    )

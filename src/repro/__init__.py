@@ -53,6 +53,15 @@ from repro.core.spatial import (
 )
 from repro.core.strand import Cluster, StrandPool
 from repro.data.nanopore import make_nanopore_dataset
+from repro.exceptions import (
+    ChannelFaultError,
+    ConfigError,
+    DataFormatError,
+    DecodeError,
+    EncodeError,
+    ReproError,
+    RetrievalError,
+)
 from repro.metrics.accuracy import (
     AccuracyReport,
     evaluate_reconstruction,
@@ -64,6 +73,13 @@ from repro.reconstruct.divider_bma import DividerBMA
 from repro.reconstruct.iterative import IterativeReconstruction
 from repro.reconstruct.majority import PositionalMajority
 from repro.reconstruct.two_way import TwoWayIterative
+from repro.robustness import (
+    SEVERITY_LEVELS,
+    FaultInjector,
+    FaultSpec,
+    RecoveryResult,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -72,15 +88,22 @@ __all__ = [
     "AShapedSpatial",
     "BMALookahead",
     "Channel",
+    "ChannelFaultError",
     "Cluster",
+    "ConfigError",
     "ConstantCoverage",
     "CoverageModel",
     "CustomCoverage",
+    "DataFormatError",
+    "DecodeError",
     "DividerBMA",
     "DNASimulatorBaseline",
+    "EncodeError",
     "ErasureCoverage",
     "ErrorModel",
     "ErrorProfile",
+    "FaultInjector",
+    "FaultSpec",
     "HistogramSpatial",
     "IterativeReconstruction",
     "NaiveSimulator",
@@ -89,7 +112,12 @@ __all__ = [
     "PaperTerminalSkew",
     "PoissonCoverage",
     "PositionalMajority",
+    "RecoveryResult",
+    "ReproError",
+    "RetrievalError",
+    "RetryPolicy",
     "SecondOrderError",
+    "SEVERITY_LEVELS",
     "Simulator",
     "SimulatorStage",
     "SpatialDistribution",

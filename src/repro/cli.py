@@ -7,10 +7,16 @@ Subcommands:
 * ``generate``    — fit a simulator to a dataset and generate noisy copies;
 * ``evaluate``    — run reconstruction algorithms and report accuracy;
 * ``experiment``  — run one (or all) of the paper's table/figure
-  reproductions.
+  reproductions;
+* ``chaos``       — sweep injected-fault severity against the archive's
+  resilient retrieval loop and report recovery rates.
 
 All clustered files use DNASimulator's evyat text format
 (:mod:`repro.data.io`).
+
+User-input failures (:class:`~repro.exceptions.ReproError`, bad paths)
+exit with a one-line stage-tagged message and a non-zero code; pass
+``--debug`` (before the subcommand) to re-raise with a full traceback.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.core.simulator import Simulator
 from repro.data.io import read_pool, read_references, write_pool
 from repro.data.nanopore import make_nanopore_dataset
+from repro.exceptions import ReproError
 from repro.metrics.accuracy import evaluate_reconstruction
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.bma import BMALookahead
@@ -62,6 +69,7 @@ EXPERIMENTS = (
     "ext_staged",
     "ext_reliability",
     "ablation",
+    "chaos",
 )
 
 
@@ -173,12 +181,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+    from repro.robustness import SEVERITY_LEVELS
+
+    severities = tuple(args.severities) if args.severities else chaos.SEVERITIES
+    for severity in severities:
+        if severity not in SEVERITY_LEVELS:
+            raise SystemExit(
+                f"unknown fault severity {severity!r}; choose from "
+                f"{sorted(SEVERITY_LEVELS)}"
+            )
+    result = chaos.run(
+        n_clusters=args.clusters,
+        severities=severities,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    return 0 if result["unhandled_errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``dnasim`` argument parser (exposed for the test suite)."""
     parser = argparse.ArgumentParser(
         prog="dnasim",
         description="DNA-storage noisy-channel simulator "
         "(reproduction of 'Simulating Noisy Channels in DNA Storage')",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise errors with a full traceback instead of a "
+        "one-line message",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -248,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--clusters", type=int, default=None)
     report.set_defaults(handler=_cmd_report)
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="sweep injected-fault severity and report archive recovery",
+    )
+    chaos.add_argument("--clusters", type=int, default=None)
+    chaos.add_argument(
+        "--trials", type=int, default=3, help="trials per severity level"
+    )
+    chaos.add_argument(
+        "--severities",
+        nargs="+",
+        metavar="LEVEL",
+        help="severity levels to sweep (default: the full ladder)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(handler=_cmd_chaos)
+
     return parser
 
 
@@ -255,7 +306,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as error:
+        if args.debug:
+            raise
+        message = (
+            error.tagged() if isinstance(error, ReproError) else str(error)
+        )
+        print(f"dnasim: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

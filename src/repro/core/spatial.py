@@ -23,12 +23,23 @@ from collections.abc import Sequence
 
 
 def _normalise(weights: Sequence[float]) -> list[float]:
-    """Scale weights so their mean is 1.0 (all-zero input becomes uniform)."""
-    total = sum(weights)
-    if total <= 0.0:
+    """Scale weights so their mean is 1.0 (all-zero input becomes uniform).
+
+    Degenerate inputs — non-finite totals, or subnormal weights so small
+    the mean (or the rescale itself) underflows — carry no usable shape
+    information and are treated like all-zero input: uniform.
+    """
+    total = math.fsum(weights)
+    if total <= 0.0 or not math.isfinite(total):
         return [1.0] * len(weights)
     mean = total / len(weights)
-    return [weight / mean for weight in weights]
+    if mean == 0.0:
+        return [1.0] * len(weights)
+    scaled = [weight / mean for weight in weights]
+    check = math.fsum(scaled)
+    if not math.isfinite(check) or abs(check - len(weights)) > 1e-6 * len(weights):
+        return [1.0] * len(weights)
+    return scaled
 
 
 class SpatialDistribution(ABC):

@@ -20,11 +20,24 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core.alphabet import validate_strand
+from repro.core.alphabet import AlphabetError, validate_strand
 from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import DataFormatError
 
 #: Separator line between a reference strand and its cluster of copies.
 CLUSTER_SEPARATOR = "*" * 29
+
+
+def _validated(
+    line: str, path: Path, line_number: int, what: str
+) -> str:
+    """Validate a strand, rewrapping alphabet errors with file context."""
+    try:
+        return validate_strand(line)
+    except AlphabetError as error:
+        raise DataFormatError(
+            f"{path}:{line_number}: invalid {what}: {error}"
+        ) from error
 
 
 def write_pool(pool: StrandPool, path: str | Path) -> None:
@@ -42,10 +55,15 @@ def write_pool(pool: StrandPool, path: str | Path) -> None:
 def read_pool(path: str | Path) -> StrandPool:
     """Read a pseudo-clustered pool from an evyat-format file.
 
+    Trailing whitespace and variable blank-line runs between clusters are
+    tolerated; structural damage is not.
+
     Raises:
-        ValueError: on malformed files (missing separator, invalid bases).
+        DataFormatError: on malformed files (missing or duplicate
+            separator, invalid bases), with ``file:line:`` context.
     """
-    text = Path(path).read_text(encoding="ascii")
+    path = Path(path)
+    text = path.read_text(encoding="ascii")
     clusters: list[Cluster] = []
     reference: str | None = None
     copies: list[str] = []
@@ -58,22 +76,36 @@ def read_pool(path: str | Path) -> StrandPool:
                 reference = None
                 copies = []
             continue
+        is_separator = set(line) == {"*"}
         if reference is None:
-            reference = validate_strand(line)
+            if is_separator:
+                raise DataFormatError(
+                    f"{path}:{line_number}: separator with no reference "
+                    "strand before it"
+                )
+            reference = _validated(line, path, line_number, "reference strand")
             expecting_separator = True
             continue
         if expecting_separator:
-            if set(line) != {"*"}:
-                raise ValueError(
-                    f"line {line_number}: expected a separator of '*' "
+            if not is_separator:
+                raise DataFormatError(
+                    f"{path}:{line_number}: expected a separator of '*' "
                     f"after reference, got {line[:20]!r}"
                 )
             expecting_separator = False
             continue
-        copies.append(validate_strand(line))
+        if is_separator:
+            raise DataFormatError(
+                f"{path}:{line_number}: duplicate cluster separator "
+                "(cluster header repeated, or blank lines between "
+                "clusters missing)"
+            )
+        copies.append(_validated(line, path, line_number, "copy strand"))
     if reference is not None:
         if expecting_separator:
-            raise ValueError("file ends after a reference with no separator")
+            raise DataFormatError(
+                f"{path}: file ends after a reference with no separator"
+            )
         clusters.append(Cluster(reference, copies))
     return StrandPool(clusters)
 
@@ -86,13 +118,22 @@ def write_references(references: list[str], path: str | Path) -> None:
 
 
 def read_references(path: str | Path) -> list[str]:
-    """Read reference strands from a one-per-line file (blank lines are
-    skipped)."""
+    """Read reference strands from a one-per-line file (blank lines and
+    trailing whitespace are tolerated).
+
+    Raises:
+        DataFormatError: for non-DNA content, with ``file:line:`` context.
+    """
+    path = Path(path)
     references = []
-    for line in Path(path).read_text(encoding="ascii").splitlines():
+    for line_number, line in enumerate(
+        path.read_text(encoding="ascii").splitlines(), start=1
+    ):
         line = line.strip()
         if line:
-            references.append(validate_strand(line))
+            references.append(
+                _validated(line, path, line_number, "reference strand")
+            )
     return references
 
 

@@ -9,6 +9,7 @@ and assert the paper's qualitative result shapes.
 __all__ = [
     "ablation",
     "appendix_c",
+    "chaos",
     "common",
     "ext_reliability",
     "ext_staged",

@@ -20,6 +20,8 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigError
+
 
 @dataclass(frozen=True)
 class DecayParameters:
@@ -39,7 +41,7 @@ class DecayParameters:
     def survival_probability(self, years: float) -> float:
         """Probability a single molecule survives ``years`` intact."""
         if years < 0:
-            raise ValueError(f"years must be non-negative, got {years}")
+            raise ConfigError(f"years must be non-negative, got {years}")
         return math.exp(-math.log(2.0) * years / self.half_life_years)
 
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.core.alphabet import BASES, COMPLEMENT, gc_content, validate_strand
+from repro.exceptions import DecodeError
 
 
-class CodecError(ValueError):
+class CodecError(DecodeError, ValueError):
     """Raised when a strand cannot be decoded back into bytes."""
 
 

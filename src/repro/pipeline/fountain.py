@@ -20,10 +20,11 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.exceptions import DecodeError
 from repro.pipeline.xor_redundancy import xor_bytes
 
 
-class FountainDecodeError(RuntimeError):
+class FountainDecodeError(DecodeError, RuntimeError):
     """Raised when the received droplets cannot recover the data."""
 
 

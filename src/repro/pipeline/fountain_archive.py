@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.channel import Channel
 from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
+from repro.exceptions import ConfigError, EncodeError, RetrievalError
 from repro.pipeline.encoding import Basic2BitCodec, Codec, CodecError
 from repro.pipeline.fountain import (
     Droplet,
@@ -39,7 +40,7 @@ from repro.reconstruct.bma import BMALookahead
 SEED_BYTES = 4
 
 
-class FountainArchiveError(RuntimeError):
+class FountainArchiveError(RetrievalError):
     """Raised when a stored file cannot be recovered."""
 
 
@@ -77,9 +78,9 @@ class FountainArchive:
         seed: int | None = 0,
     ) -> None:
         if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         if overhead < 0:
-            raise ValueError(f"overhead must be non-negative, got {overhead}")
+            raise ConfigError(f"overhead must be non-negative, got {overhead}")
         self.codec = codec if codec is not None else Basic2BitCodec()
         self.chunk_size = chunk_size
         self.overhead = overhead
@@ -97,9 +98,9 @@ class FountainArchive:
             ValueError: for duplicate keys or empty data.
         """
         if key in self.files:
-            raise ValueError(f"key {key!r} already stored")
+            raise EncodeError(f"key {key!r} already stored")
         if not data:
-            raise ValueError("cannot store an empty file")
+            raise EncodeError("cannot store an empty file")
         chunks = []
         for start in range(0, len(data), self.chunk_size):
             chunk = data[start : start + self.chunk_size]
@@ -170,7 +171,7 @@ class FountainArchive:
         """
         stored = self.files[key]
         if not 0.0 <= strand_loss_rate <= 1.0:
-            raise ValueError(
+            raise ConfigError(
                 f"strand_loss_rate must be in [0, 1], got {strand_loss_rate}"
             )
         reconstructor = reconstructor or BMALookahead()

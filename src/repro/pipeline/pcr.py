@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.alphabet import gc_content, substitute_base
+from repro.exceptions import ConfigError
 
 
 @dataclass(frozen=True)
@@ -132,9 +133,9 @@ class PCRAmplifier:
             An :class:`AmplifiedPool` with per-strand molecule variants.
         """
         if cycles < 0:
-            raise ValueError(f"cycles must be non-negative, got {cycles}")
+            raise ConfigError(f"cycles must be non-negative, got {cycles}")
         if selected is not None and len(selected) != len(strands):
-            raise ValueError(
+            raise ConfigError(
                 f"{len(selected)} selection flags for {len(strands)} strands"
             )
         parameters = self.parameters

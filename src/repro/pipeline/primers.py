@@ -19,12 +19,13 @@ from collections.abc import Iterable
 
 from repro.align.edit_distance import edit_distance_banded
 from repro.core.alphabet import gc_content, longest_homopolymer, random_strand
+from repro.exceptions import ConfigError, EncodeError
 
 #: Conventional primer length (Section 1.1.1: "a unique sequence of 20 bases").
 PRIMER_LENGTH = 20
 
 
-class PrimerDesignError(RuntimeError):
+class PrimerDesignError(EncodeError, RuntimeError):
     """Raised when a primer library of the requested size cannot be built."""
 
 
@@ -58,7 +59,7 @@ def generate_primer_library(
             too tight for the requested count).
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigError(f"count must be non-negative, got {count}")
     library: list[str] = []
     attempts = 0
     budget = max_attempts_per_primer * max(count, 1)

@@ -14,6 +14,7 @@ that this is never a bottleneck.
 
 from __future__ import annotations
 
+from repro.exceptions import ConfigError, DecodeError
 from repro.pipeline.gf256 import (
     GENERATOR,
     gf_div,
@@ -25,7 +26,7 @@ from repro.pipeline.gf256 import (
 )
 
 
-class ReedSolomonError(ValueError):
+class ReedSolomonError(DecodeError, ValueError):
     """Raised when decoding fails (too many errors for the code)."""
 
 
@@ -42,7 +43,7 @@ class ReedSolomon:
 
     def __init__(self, n_parity: int) -> None:
         if not 1 <= n_parity <= 254:
-            raise ValueError(f"n_parity must be in [1, 254], got {n_parity}")
+            raise ConfigError(f"n_parity must be in [1, 254], got {n_parity}")
         self.n_parity = n_parity
         self._generator_poly = self._build_generator(n_parity)
 
@@ -64,7 +65,7 @@ class ReedSolomon:
             ValueError: if the codeword would exceed 255 symbols.
         """
         if len(data) + self.n_parity > 255:
-            raise ValueError(
+            raise ConfigError(
                 f"codeword too long: {len(data)} data + {self.n_parity} "
                 "parity > 255"
             )
@@ -110,7 +111,7 @@ class ReedSolomon:
         length = len(received)
         for position in erasure_positions:
             if not 0 <= position < length:
-                raise ValueError(f"erasure position {position} out of range")
+                raise ConfigError(f"erasure position {position} out of range")
             received[position] = 0
 
         syndromes = self._syndromes(received)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
 from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import ConfigError
 from repro.pipeline.decay import StorageDecay
 from repro.pipeline.pcr import PCRAmplifier
 from repro.core.spatial import TerminalSkew
@@ -105,7 +106,7 @@ class StagedChannel:
         rng: random.Random | None = None,
     ) -> None:
         if reads_per_strand <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"reads_per_strand must be positive, got {reads_per_strand}"
             )
         self.rng = rng if rng is not None else random.Random()

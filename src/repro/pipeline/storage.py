@@ -11,13 +11,25 @@ write-store-read loop of Section 1.1:
    loses molecules over archival years;
 3. **retrieve** — PCR selects and amplifies the file's primer; the
    sequencing channel (any :class:`~repro.core.errors.ErrorModel`) draws
-   noisy reads at a chosen coverage;
+   noisy reads at a chosen coverage, optionally faulted by a
+   :class:`~repro.robustness.FaultInjector`;
 4. **cluster + reconstruct** — reads are grouped (pseudo or greedy
    clustering) and a trace-reconstruction algorithm produces one strand
    estimate per cluster;
 5. **decode** — estimates are parsed (CRC failures become erasures),
    reassembled by index, and the outer RS code corrects erasures and
    corruptions to return the original bytes.
+
+Two read entry points:
+
+* :meth:`DNAArchive.read` — one attempt, raises :class:`ArchiveError` on
+  unrecoverable corruption (the strict mode experiments use);
+* :meth:`DNAArchive.retrieve` — the resilient loop: on decode failure it
+  *re-sequences* at escalating coverage per a
+  :class:`~repro.robustness.RetryPolicy`, optionally switching to a
+  fallback reconstructor, and when retries are exhausted returns a
+  structured :class:`~repro.robustness.RecoveryResult` (recovered bytes,
+  erasure map, per-strand failure reasons) instead of raising.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.core.channel import Channel
 from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
+from repro.exceptions import ConfigError, EncodeError, RetrievalError
 from repro.pipeline.decay import StorageDecay
 from repro.pipeline.encoding import Basic2BitCodec, Codec
 from repro.pipeline.primers import generate_primer_library
@@ -35,9 +48,16 @@ from repro.pipeline.reed_solomon import ReedSolomon, ReedSolomonError
 from repro.pipeline.synthesis import StrandLayout, StrandParseError
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.bma import BMALookahead
+from repro.robustness.faults import FaultInjector
+from repro.robustness.retry import (
+    AttemptReport,
+    RecoveryResult,
+    RetryPolicy,
+    ranges_from_flags,
+)
 
 
-class ArchiveError(RuntimeError):
+class ArchiveError(RetrievalError):
     """Raised when a file cannot be recovered from the pool."""
 
 
@@ -64,6 +84,16 @@ class RetrievalReport:
     n_corrected_errors: int
 
 
+@dataclass
+class _Survey:
+    """What one sequencing pass recovered, per strand index."""
+
+    payload_by_index: dict[int, bytes]
+    failures: dict[int, str]
+    n_reads: int
+    n_clusters_used: int
+
+
 class DNAArchive:
     """A key-value DNA archival store.
 
@@ -86,7 +116,7 @@ class DNAArchive:
         seed: int | None = 0,
     ) -> None:
         if rs_group_data < 1 or rs_group_data + rs_group_parity > 255:
-            raise ValueError(
+            raise ConfigError(
                 "rs_group_data must be >= 1 and group size <= 255, got "
                 f"{rs_group_data}+{rs_group_parity}"
             )
@@ -107,12 +137,12 @@ class DNAArchive:
         """Encode ``data`` into strands under ``key`` and store them.
 
         Raises:
-            ValueError: for duplicate keys or empty data.
+            EncodeError: for duplicate keys or empty data.
         """
         if key in self.files:
-            raise ValueError(f"key {key!r} already stored")
+            raise EncodeError(f"key {key!r} already stored")
         if not data:
-            raise ValueError("cannot store an empty file")
+            raise EncodeError("cannot store an empty file")
         primer = self._next_primer()
         layout = StrandLayout(primer, self.codec, self.payload_bytes)
 
@@ -176,6 +206,84 @@ class DNAArchive:
             strands.extend(stored.strands)
         return strands
 
+    def _aged_strands(
+        self,
+        stored: StoredFile,
+        decay: StorageDecay | None,
+        storage_years: float,
+    ) -> list[str | None]:
+        strands: list[str | None] = list(stored.strands)
+        if decay is not None and storage_years > 0:
+            strands = decay.age_pool(stored.strands, storage_years)
+        return strands
+
+    def _survey(
+        self,
+        stored: StoredFile,
+        strands: list[str | None],
+        channel_model: ErrorModel | None,
+        coverages: list[int],
+        reconstructor: Reconstructor,
+        faults: FaultInjector | None,
+    ) -> _Survey:
+        """One sequencing pass: noisy reads per surviving strand
+        (pseudo-clustered; the paper's evaluation setting, Section 3.1),
+        reconstructed and parsed into per-index payloads.
+
+        Every strand index that yields no payload gets a failure reason,
+        so partial-recovery results can name *why* each strand is gone.
+        """
+        payload_by_index: dict[int, bytes] = {}
+        failures: dict[int, str] = {}
+        n_reads = 0
+        n_clusters_used = 0
+        strand_length = stored.layout.strand_length()
+        parse_failures: dict[int, str] = {}
+        for position, (strand, n_copies) in enumerate(zip(strands, coverages)):
+            if strand is None:
+                failures[position] = "strand lost before sequencing (decay)"
+                continue
+            if n_copies == 0:
+                failures[position] = "zero sequencing coverage drawn"
+                continue
+            if channel_model is None:
+                reads = [strand] * n_copies
+            else:
+                channel = Channel(channel_model, self.rng)
+                reads = channel.transmit_many(strand, n_copies)
+            if faults is not None:
+                reads = faults.inject_reads(reads)
+                if not reads:
+                    failures[position] = "cluster dropped by fault injection"
+                    continue
+            n_reads += len(reads)
+            n_clusters_used += 1
+            estimate = reconstructor.reconstruct(reads, strand_length)
+            if not estimate:
+                failures[position] = "reconstruction produced no estimate"
+                continue
+            try:
+                index, payload = stored.layout.parse(estimate)
+            except StrandParseError as error:
+                failures[position] = f"parse failed: {error}"
+                continue
+            if 0 <= index < stored.n_total_strands:
+                payload_by_index.setdefault(index, payload)
+            else:
+                failures[position] = f"parsed index {index} out of range"
+        # A strand whose own cluster failed may still have been recovered
+        # under its index via another cluster (chimeras, duplicates) —
+        # failure reasons apply only to indices that stayed missing.
+        # Conversely a cluster that parsed fine can land on a wrong index;
+        # mark indices that never materialised.
+        for index in range(stored.n_total_strands):
+            if index in payload_by_index:
+                failures.pop(index, None)
+            elif index not in failures:
+                parse_failures[index] = "no read parsed to this index"
+        failures.update(parse_failures)
+        return _Survey(payload_by_index, failures, n_reads, n_clusters_used)
+
     def read(
         self,
         key: str,
@@ -184,8 +292,9 @@ class DNAArchive:
         reconstructor: Reconstructor | None = None,
         decay: StorageDecay | None = None,
         storage_years: float = 0.0,
+        faults: FaultInjector | None = None,
     ) -> RetrievalReport:
-        """Retrieve a file through the full noisy pipeline.
+        """Retrieve a file through the full noisy pipeline (one attempt).
 
         Args:
             key: the file to retrieve.
@@ -196,77 +305,189 @@ class DNAArchive:
             reconstructor: trace-reconstruction algorithm (default: BMA).
             decay: optional storage-decay model applied before reading.
             storage_years: archival time for the decay model.
+            faults: optional fault injector applied to the sequenced
+                reads (dropped clusters, truncation, contamination, ...).
 
         Raises:
             KeyError: unknown key.
             ArchiveError: unrecoverable corruption (RS budget exceeded).
+                Use :meth:`retrieve` for retry escalation and graceful
+                partial recovery instead.
         """
         stored = self.files[key]
-        strands: list[str | None] = list(stored.strands)
-        if decay is not None and storage_years > 0:
-            strands = decay.age_pool(stored.strands, storage_years)
-
+        strands = self._aged_strands(stored, decay, storage_years)
         coverage_model = (
             coverage
             if isinstance(coverage, CoverageModel)
             else ConstantCoverage(coverage)
         )
         reconstructor = reconstructor or BMALookahead()
-
-        # Sequencing: noisy reads per surviving strand (pseudo-clustered;
-        # the paper's evaluation setting, Section 3.1).
         coverages = coverage_model.draw(len(strands), self.rng)
-        estimates: list[str | None] = []
-        n_reads = 0
-        n_clusters_used = 0
-        strand_length = stored.layout.strand_length()
-        for strand, n_copies in zip(strands, coverages):
-            if strand is None or n_copies == 0:
-                estimates.append(None)
-                continue
-            if channel_model is None:
-                reads = [strand] * n_copies
-            else:
-                channel = Channel(channel_model, self.rng)
-                reads = channel.transmit_many(strand, n_copies)
-            n_reads += len(reads)
-            n_clusters_used += 1
-            estimates.append(reconstructor.reconstruct(reads, strand_length))
-
-        # Parse estimates; CRC failures and losses become erasures.
-        payload_by_index: dict[int, bytes] = {}
-        for estimate in estimates:
-            if not estimate:
-                continue
-            try:
-                index, payload = stored.layout.parse(estimate)
-            except StrandParseError:
-                continue
-            if 0 <= index < stored.n_total_strands:
-                payload_by_index.setdefault(index, payload)
-
+        survey = self._survey(
+            stored, strands, channel_model, coverages, reconstructor, faults
+        )
         data, n_erasures, n_corrected = self._decode_groups(
-            stored, payload_by_index
+            stored, survey.payload_by_index
         )
         return RetrievalReport(
             data=data[: stored.data_length],
-            n_reads=n_reads,
-            n_clusters_used=n_clusters_used,
+            n_reads=survey.n_reads,
+            n_clusters_used=survey.n_clusters_used,
             n_erasures=n_erasures,
             n_corrected_errors=n_corrected,
         )
 
-    def _decode_groups(
-        self, stored: StoredFile, payload_by_index: dict[int, bytes]
-    ) -> tuple[bytes, int, int]:
-        data = bytearray()
-        n_erasures = 0
-        n_corrected = 0
+    def retrieve(
+        self,
+        key: str,
+        channel_model: ErrorModel | None = None,
+        coverage: int = 8,
+        reconstructor: Reconstructor | None = None,
+        decay: StorageDecay | None = None,
+        storage_years: float = 0.0,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> RecoveryResult:
+        """Resilient retrieval: retry escalation, then partial recovery.
+
+        Each attempt re-sequences the (aged) pool at the coverage the
+        :class:`~repro.robustness.RetryPolicy` prescribes and merges the
+        newly parsed strands with everything earlier attempts recovered —
+        re-sequencing only ever adds information.  If the Reed-Solomon
+        decode still fails after the last attempt, the file is decoded
+        *group by group and byte-column by byte-column*: columns the RS
+        budget can correct are corrected, CRC-validated payload bytes of
+        present strands are kept as-is, and only genuinely unrecoverable
+        byte ranges are zero-filled and reported in the erasure map.
+
+        Never raises on decode failure — the structured
+        :class:`~repro.robustness.RecoveryResult` reports partial
+        outcomes instead.
+
+        Raises:
+            KeyError: unknown key (a caller bug, not a channel failure).
+            ConfigError: invalid retry policy or coverage.
+        """
+        if coverage < 1:
+            raise ConfigError(f"coverage must be >= 1, got {coverage}")
+        policy = retry if retry is not None else RetryPolicy()
+        stored = self.files[key]
+        primary = reconstructor or BMALookahead()
+        strands = self._aged_strands(stored, decay, storage_years)
+
+        payload_by_index: dict[int, bytes] = {}
+        failures: dict[int, str] = {}
+        attempts: list[AttemptReport] = []
+        total_reads = 0
+        for attempt in range(policy.max_attempts):
+            attempt_coverage = policy.coverage_for_attempt(
+                coverage, attempt, len(strands)
+            )
+            algorithm = policy.reconstructor_for_attempt(primary, attempt)
+            coverages = [attempt_coverage] * len(strands)
+            survey = self._survey(
+                stored, strands, channel_model, coverages, algorithm, faults
+            )
+            total_reads += survey.n_reads
+            for index, payload in survey.payload_by_index.items():
+                payload_by_index.setdefault(index, payload)
+            failures = {
+                index: reason
+                for index, reason in survey.failures.items()
+                if index not in payload_by_index
+            }
+            n_missing = stored.n_total_strands - len(payload_by_index)
+            try:
+                data, n_erasures, n_corrected = self._decode_groups(
+                    stored, payload_by_index
+                )
+            except ArchiveError as error:
+                attempts.append(
+                    AttemptReport(
+                        attempt=attempt,
+                        coverage=attempt_coverage,
+                        n_reads=survey.n_reads,
+                        n_parsed_strands=len(payload_by_index),
+                        n_missing_strands=n_missing,
+                        reconstructor=algorithm.name,
+                        succeeded=False,
+                        failure=str(error),
+                    )
+                )
+                continue
+            attempts.append(
+                AttemptReport(
+                    attempt=attempt,
+                    coverage=attempt_coverage,
+                    n_reads=survey.n_reads,
+                    n_parsed_strands=len(payload_by_index),
+                    n_missing_strands=n_missing,
+                    reconstructor=algorithm.name,
+                    succeeded=True,
+                )
+            )
+            return RecoveryResult(
+                key=key,
+                data=data[: stored.data_length],
+                complete=True,
+                data_length=stored.data_length,
+                recovered_bytes=stored.data_length,
+                erasure_map=(),
+                strand_failures={},
+                attempts=tuple(attempts),
+                n_erasures=n_erasures,
+                n_corrected_errors=n_corrected,
+                n_reads=total_reads,
+            )
+
+        # Retries exhausted: salvage whatever the pool still supports.
+        data, recovered_flags, n_erasures, n_corrected = (
+            self._decode_groups_partial(stored, payload_by_index)
+        )
+        flags = recovered_flags[: stored.data_length]
+        return RecoveryResult(
+            key=key,
+            data=data[: stored.data_length],
+            complete=False,
+            data_length=stored.data_length,
+            recovered_bytes=sum(flags),
+            erasure_map=ranges_from_flags(flags),
+            strand_failures=failures,
+            attempts=tuple(attempts),
+            n_erasures=n_erasures,
+            n_corrected_errors=n_corrected,
+            n_reads=total_reads,
+        )
+
+    # ---------------------------------------------------------------- #
+    # Decoding
+    # ---------------------------------------------------------------- #
+
+    def _iter_groups(self, stored: StoredFile):
+        """Yield ``(first_index, k, group_indices)`` per RS group."""
         index = 0
         remaining_data = stored.n_data_strands
         while remaining_data > 0:
             k = min(self.rs_group_data, remaining_data)
-            group_indices = list(range(index, index + k + self.rs_group_parity))
+            group_indices = list(
+                range(index, index + k + self.rs_group_parity)
+            )
+            yield index, k, group_indices
+            index += k + self.rs_group_parity
+            remaining_data -= k
+
+    def _decode_groups(
+        self, stored: StoredFile, payload_by_index: dict[int, bytes]
+    ) -> tuple[bytes, int, int]:
+        """Strict decode: every group must fit its Reed-Solomon budget.
+
+        Raises:
+            ArchiveError: as soon as any group exceeds the budget.
+        """
+        data = bytearray()
+        n_erasures = 0
+        n_corrected = 0
+        for index, k, group_indices in self._iter_groups(stored):
             erasure_rows = [
                 row
                 for row, strand_index in enumerate(group_indices)
@@ -301,6 +522,66 @@ class DNAArchive:
                     decoded_chunks[row].append(corrected[row])
             for chunk in decoded_chunks:
                 data.extend(chunk)
-            index += k + self.rs_group_parity
-            remaining_data -= k
         return bytes(data), n_erasures, n_corrected
+
+    def _decode_groups_partial(
+        self, stored: StoredFile, payload_by_index: dict[int, bytes]
+    ) -> tuple[bytes, list[bool], int, int]:
+        """Best-effort decode: never raises, recovers what it can.
+
+        Per group and byte column: if the RS budget holds, correct as
+        usual; otherwise keep the CRC-validated payload bytes of present
+        strands verbatim (a valid CRC makes them near-certainly correct)
+        and mark the missing strands' bytes unrecovered.
+
+        Returns ``(data, recovered_flags, n_erasures, n_corrected)`` where
+        ``recovered_flags[i]`` says whether byte ``i`` of the padded data
+        is trustworthy.
+        """
+        data = bytearray()
+        recovered_flags: list[bool] = []
+        n_erasures = 0
+        n_corrected = 0
+        for _index, k, group_indices in self._iter_groups(stored):
+            erasure_rows = [
+                row
+                for row, strand_index in enumerate(group_indices)
+                if strand_index not in payload_by_index
+            ]
+            n_erasures += len(erasure_rows)
+            group_payloads = [
+                payload_by_index.get(strand_index, bytes(self.payload_bytes))
+                for strand_index in group_indices
+            ]
+            decoded_chunks = [bytearray() for _ in range(k)]
+            chunk_flags = [[False] * self.payload_bytes for _ in range(k)]
+            budget_holds = len(erasure_rows) <= self.rs_group_parity
+            for byte_position in range(self.payload_bytes):
+                column = bytes(
+                    payload[byte_position] for payload in group_payloads
+                )
+                corrected: bytes | None = None
+                if budget_holds:
+                    try:
+                        corrected = self._reed_solomon.decode(
+                            column, erasure_positions=erasure_rows
+                        )
+                    except ReedSolomonError:
+                        corrected = None
+                if corrected is not None:
+                    if corrected != column[: len(corrected)]:
+                        n_corrected += 1
+                    for row in range(k):
+                        decoded_chunks[row].append(corrected[row])
+                        chunk_flags[row][byte_position] = True
+                else:
+                    # RS cannot help this column: present strands keep
+                    # their CRC-validated bytes, missing ones are erased.
+                    erased = set(erasure_rows)
+                    for row in range(k):
+                        decoded_chunks[row].append(column[row])
+                        chunk_flags[row][byte_position] = row not in erased
+            for row in range(k):
+                data.extend(decoded_chunks[row])
+                recovered_flags.extend(chunk_flags[row])
+        return bytes(data), recovered_flags, n_erasures, n_corrected

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigError, DecodeError, EncodeError
 from repro.pipeline.encoding import Codec, CodecError
 
 #: CRC-8 polynomial (CCITT: x^8 + x^2 + x + 1).
@@ -40,7 +41,7 @@ def crc8(payload: bytes) -> int:
     return value
 
 
-class StrandParseError(ValueError):
+class StrandParseError(DecodeError, ValueError):
     """Raised when a read cannot be parsed back into (index, payload)."""
 
 
@@ -61,7 +62,7 @@ class StrandLayout:
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 1:
-            raise ValueError(
+            raise ConfigError(
                 f"payload_bytes must be >= 1, got {self.payload_bytes}"
             )
 
@@ -82,9 +83,9 @@ class StrandLayout:
             ValueError: for an out-of-range index or wrong payload size.
         """
         if not 0 <= index < 256**INDEX_BYTES:
-            raise ValueError(f"index {index} out of range")
+            raise EncodeError(f"index {index} out of range")
         if len(payload) != self.payload_bytes:
-            raise ValueError(
+            raise EncodeError(
                 f"payload must be {self.payload_bytes} bytes, "
                 f"got {len(payload)}"
             )

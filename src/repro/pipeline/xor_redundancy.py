@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.exceptions import DecodeError
 
-class XorRecoveryError(ValueError):
+
+class XorRecoveryError(DecodeError, ValueError):
     """Raised when too many strands of a group are missing."""
 
 

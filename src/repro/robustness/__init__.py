@@ -1,0 +1,47 @@
+"""Fault injection and resilient-retrieval policies.
+
+Real DNA channels fail in structured ways the clean simulators skip: the
+paper's Nanopore dataset has 16 empty clusters out of 10,000, coverage
+ranging from 0 to 164, and burst/terminal-skewed errors.  This package
+supplies the machinery to *provoke* those failures deterministically and
+to *survive* them:
+
+* :class:`FaultInjector` / :class:`FaultSpec` — a seeded wrapper that
+  injects wetlab failure modes (dropped clusters, truncated reads,
+  contaminant and chimeric reads, duplicated reads, whole-pool
+  corruption) into any read stream or :class:`~repro.core.strand.StrandPool`,
+  composable with any :class:`~repro.core.errors.ErrorModel` channel or
+  :class:`~repro.pipeline.stages.StagedChannel`;
+* :class:`RetryPolicy` — the re-sequencing escalation schedule used by
+  :meth:`repro.pipeline.storage.DNAArchive.retrieve`;
+* :class:`RecoveryResult` / :class:`AttemptReport` — the structured
+  partial-recovery output returned when retries are exhausted.
+"""
+
+from repro.robustness.faults import (
+    SEVERITY_LEVELS,
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    FaultyChannel,
+    resolve_spec,
+)
+from repro.robustness.retry import (
+    AttemptReport,
+    RecoveryResult,
+    RetryPolicy,
+    ranges_from_flags,
+)
+
+__all__ = [
+    "AttemptReport",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "FaultyChannel",
+    "RecoveryResult",
+    "RetryPolicy",
+    "SEVERITY_LEVELS",
+    "ranges_from_flags",
+    "resolve_spec",
+]

@@ -1,0 +1,345 @@
+"""Deterministic injection of wetlab failure modes into read streams.
+
+The clean simulators in :mod:`repro.core` model *per-base* errors; real
+pools also fail at the *read* and *cluster* granularity (Section 2.1:
+empty clusters, wildly skewed coverage; Shomorony & Heckel's
+shuffling-sampling channel models exactly these erasures).  A
+:class:`FaultInjector` adds those modes on top of any channel:
+
+* **cluster dropout** — a whole cluster yields zero reads (failed PCR,
+  lost molecules; the paper's 16-of-10,000 empty clusters);
+* **read truncation** — a read stops early (pore blocking, synthesis
+  truncation — terminal losses, not IDS noise);
+* **chimeric reads** — two templates spliced at a random breakpoint
+  (PCR template switching);
+* **contaminant reads** — foreign DNA attributed to a cluster by
+  imperfect clustering;
+* **read duplication** — the same molecule read repeatedly (PCR
+  over-amplification bias);
+* **pool corruption** — a uniform substitution floor across every read
+  (degraded pool / miscalled bases beyond the channel model).
+
+All randomness comes from one seeded RNG, so a given
+``(spec, seed, call sequence)`` reproduces the exact same faults.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.core.alphabet import BASES, random_strand
+from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import ConfigError
+
+#: Fields of :class:`FaultSpec` that are probabilities in [0, 1].
+_RATE_FIELDS = (
+    "cluster_dropout",
+    "read_truncation",
+    "read_duplication",
+    "chimera_rate",
+    "contaminant_rate",
+    "pool_corruption",
+)
+
+#: Fallback read length for contaminants when a cluster has no reads to
+#: imitate (the paper's Nanopore strand length).
+_DEFAULT_CONTAMINANT_LENGTH = 110
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates for each injected failure mode.
+
+    Attributes:
+        cluster_dropout: probability a cluster loses *all* its reads.
+        read_truncation: probability a read is cut short.
+        truncation_keep_min: a truncated read keeps at least this
+            fraction of its bases (uniform in [keep_min, 1)).
+        read_duplication: probability a read is emitted twice (plus
+            geometric extras at the same rate).
+        chimera_rate: probability a read is spliced with another
+            template at a random breakpoint.
+        contaminant_rate: probability a cluster gains one foreign read
+            (plus geometric extras at the same rate).
+        pool_corruption: per-base substitution probability applied to
+            every read on top of any channel noise.
+    """
+
+    cluster_dropout: float = 0.0
+    read_truncation: float = 0.0
+    truncation_keep_min: float = 0.2
+    read_duplication: float = 0.0
+    chimera_rate: float = 0.0
+    contaminant_rate: float = 0.0
+    pool_corruption: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.truncation_keep_min <= 1.0:
+            raise ConfigError(
+                "truncation_keep_min must be in (0, 1], got "
+                f"{self.truncation_keep_min}"
+            )
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every fault rate is zero."""
+        return all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+
+    def scaled(self, factor: float) -> "FaultSpec":
+        """A spec with every rate multiplied by ``factor`` (capped at 1)."""
+        if factor < 0:
+            raise ConfigError(f"factor must be non-negative, got {factor}")
+        return replace(
+            self,
+            **{
+                name: min(1.0, getattr(self, name) * factor)
+                for name in _RATE_FIELDS
+            },
+        )
+
+
+#: The documented fault-severity ladder used by the chaos harness and the
+#: ``dnasim chaos`` subcommand.  "mild" roughly matches the wetlab
+#: dataset's own pathology (≈0.2% empty clusters); each step multiplies
+#: the pain.
+SEVERITY_LEVELS: dict[str, FaultSpec] = {
+    "none": FaultSpec(),
+    "mild": FaultSpec(
+        cluster_dropout=0.01,
+        read_truncation=0.02,
+        read_duplication=0.05,
+        chimera_rate=0.01,
+        contaminant_rate=0.02,
+        pool_corruption=0.001,
+    ),
+    "moderate": FaultSpec(
+        cluster_dropout=0.05,
+        read_truncation=0.08,
+        read_duplication=0.10,
+        chimera_rate=0.03,
+        contaminant_rate=0.08,
+        pool_corruption=0.004,
+    ),
+    "severe": FaultSpec(
+        cluster_dropout=0.15,
+        read_truncation=0.20,
+        read_duplication=0.15,
+        chimera_rate=0.08,
+        contaminant_rate=0.15,
+        pool_corruption=0.015,
+    ),
+    "extreme": FaultSpec(
+        cluster_dropout=0.45,
+        read_truncation=0.40,
+        read_duplication=0.20,
+        chimera_rate=0.15,
+        contaminant_rate=0.30,
+        pool_corruption=0.06,
+    ),
+}
+
+
+def resolve_spec(spec: "FaultSpec | str") -> FaultSpec:
+    """Accept a :class:`FaultSpec` or a severity-level name.
+
+    Raises:
+        ConfigError: for an unknown severity name.
+    """
+    if isinstance(spec, FaultSpec):
+        return spec
+    try:
+        return SEVERITY_LEVELS[spec]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault severity {spec!r}; choose from "
+            f"{sorted(SEVERITY_LEVELS)}"
+        ) from None
+
+
+@dataclass
+class FaultReport:
+    """Counts of faults actually injected (cumulative per injector)."""
+
+    clusters_dropped: int = 0
+    reads_truncated: int = 0
+    reads_duplicated: int = 0
+    chimeras_formed: int = 0
+    contaminants_added: int = 0
+    bases_corrupted: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.clusters_dropped
+            + self.reads_truncated
+            + self.reads_duplicated
+            + self.chimeras_formed
+            + self.contaminants_added
+            + self.bases_corrupted
+        )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to reads, clusters, or whole pools.
+
+    Composability:
+
+    * per-cluster read lists (what :class:`~repro.pipeline.storage.DNAArchive`
+      sequences): :meth:`inject_reads`;
+    * a :class:`~repro.core.channel.Channel` built from any
+      :class:`~repro.core.errors.ErrorModel`: :meth:`wrap` returns a
+      drop-in channel whose ``transmit_many`` output is faulted;
+    * the pseudo-clustered :class:`~repro.core.strand.StrandPool` any
+      simulator — including a
+      :class:`~repro.pipeline.stages.StagedChannel` — produces:
+      :meth:`inject_pool`.
+
+    Args:
+        spec: a :class:`FaultSpec` or a :data:`SEVERITY_LEVELS` name.
+        seed: RNG seed; identical seeds replay identical faults.
+    """
+
+    def __init__(self, spec: FaultSpec | str = "moderate", seed: int | None = 0) -> None:
+        self.spec = resolve_spec(spec)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.report = FaultReport()
+
+    def reset(self) -> None:
+        """Re-seed the RNG and zero the fault counters (exact replay)."""
+        self.rng = random.Random(self.seed)
+        self.report = FaultReport()
+
+    # ---------------------------------------------------------------- #
+    # Read-level injection
+    # ---------------------------------------------------------------- #
+
+    def inject_reads(self, reads: Sequence[str]) -> list[str]:
+        """Fault one cluster's reads; an empty list is a dropped cluster."""
+        spec = self.spec
+        rng = self.rng
+        if spec.cluster_dropout and rng.random() < spec.cluster_dropout:
+            self.report.clusters_dropped += 1
+            return []
+        faulted: list[str] = []
+        source = list(reads)
+        for read in source:
+            if spec.chimera_rate and rng.random() < spec.chimera_rate:
+                read = self._chimerise(read, source)
+            if spec.read_truncation and rng.random() < spec.read_truncation:
+                read = self._truncate(read)
+            if spec.pool_corruption:
+                read = self._corrupt(read)
+            if read:
+                faulted.append(read)
+            while spec.read_duplication and rng.random() < spec.read_duplication:
+                if read:
+                    faulted.append(read)
+                    self.report.reads_duplicated += 1
+                else:  # a fully truncated read cannot be duplicated
+                    break
+        while spec.contaminant_rate and rng.random() < spec.contaminant_rate:
+            length = (
+                max(1, round(sum(map(len, source)) / len(source)))
+                if source
+                else _DEFAULT_CONTAMINANT_LENGTH
+            )
+            faulted.append(random_strand(length, rng))
+            self.report.contaminants_added += 1
+        return faulted
+
+    def _truncate(self, read: str) -> str:
+        if len(read) < 2:
+            return read
+        keep_fraction = self.spec.truncation_keep_min + self.rng.random() * (
+            1.0 - self.spec.truncation_keep_min
+        )
+        keep = max(1, int(len(read) * keep_fraction))
+        if keep >= len(read):
+            return read
+        self.report.reads_truncated += 1
+        # Nanopore truncation loses the tail; synthesis truncation the
+        # head.  Both occur; pick per event.
+        return read[:keep] if self.rng.random() < 0.5 else read[-keep:]
+
+    def _chimerise(self, read: str, cluster_reads: Sequence[str]) -> str:
+        partner = (
+            self.rng.choice(cluster_reads)
+            if len(cluster_reads) > 1
+            else random_strand(max(1, len(read)), self.rng)
+        )
+        if not read or not partner:
+            return read
+        breakpoint_ = self.rng.randrange(1, len(read) + 1)
+        tail_start = min(len(partner), breakpoint_)
+        self.report.chimeras_formed += 1
+        return read[:breakpoint_] + partner[tail_start:]
+
+    def _corrupt(self, read: str) -> str:
+        rate = self.spec.pool_corruption
+        rng = self.rng
+        out = list(read)
+        for position, base in enumerate(out):
+            if rng.random() < rate:
+                out[position] = rng.choice(
+                    [other for other in BASES if other != base]
+                )
+                self.report.bases_corrupted += 1
+        return "".join(out)
+
+    # ---------------------------------------------------------------- #
+    # Cluster / pool / channel composition
+    # ---------------------------------------------------------------- #
+
+    def inject_cluster(self, cluster: Cluster) -> Cluster:
+        """Fault one cluster (the reference strand is left intact)."""
+        return Cluster(cluster.reference, self.inject_reads(cluster.copies))
+
+    def inject_pool(self, pool: StrandPool) -> StrandPool:
+        """Fault every cluster of a pseudo-clustered pool.
+
+        Works on the output of any simulator —
+        :meth:`repro.core.channel.Channel.transmit_pool`,
+        :meth:`repro.core.simulator.Simulator.simulate`, or
+        :meth:`repro.pipeline.stages.StagedChannel.simulate`.
+        """
+        return StrandPool([self.inject_cluster(cluster) for cluster in pool])
+
+    def wrap(self, channel) -> "FaultyChannel":
+        """Compose with a channel: faults are applied to its reads."""
+        return FaultyChannel(channel, self)
+
+
+class FaultyChannel:
+    """A :class:`~repro.core.channel.Channel` wrapper that faults its
+    output (duck-typed: only the read-generating surface is wrapped)."""
+
+    def __init__(self, channel, injector: FaultInjector) -> None:
+        self.channel = channel
+        self.injector = injector
+
+    @property
+    def model(self):
+        return self.channel.model
+
+    @property
+    def rng(self):
+        return self.channel.rng
+
+    def transmit(self, reference: str) -> str:
+        reads = self.transmit_many(reference, 1)
+        return reads[0] if reads else ""
+
+    def transmit_many(self, reference: str, coverage: int) -> list[str]:
+        return self.injector.inject_reads(
+            self.channel.transmit_many(reference, coverage)
+        )
+
+    def transmit_cluster(self, reference: str, coverage: int) -> Cluster:
+        return Cluster(reference, self.transmit_many(reference, coverage))

@@ -1,0 +1,171 @@
+"""Retry escalation and partial-recovery result types for retrieval.
+
+Real archival systems do not give up on the first failed decode: they
+*re-sequence* the physical pool at higher coverage (more reads of the
+same molecules) and, when even that fails, degrade gracefully to partial
+recovery rather than losing the whole file.  :class:`RetryPolicy`
+describes the escalation schedule;
+:meth:`repro.pipeline.storage.DNAArchive.retrieve` executes it and
+returns a :class:`RecoveryResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigError
+from repro.reconstruct.base import Reconstructor
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`DNAArchive.retrieve` escalates after a failed decode.
+
+    Attributes:
+        max_attempts: total sequencing attempts (1 = no retry).
+        coverage_growth: coverage multiplier per retry — attempt ``i``
+            sequences at ``ceil(base_coverage * growth**i)`` reads per
+            strand (re-sequencing at higher depth).
+        read_budget_per_attempt: optional cap on total reads drawn in
+            one attempt; escalated coverage is clamped so
+            ``coverage * n_strands`` stays within it.
+        fallback_reconstructor: optional alternative reconstruction
+            algorithm used from ``fallback_after`` (0-based attempt
+            index) onward — e.g. a slower but sturdier algorithm once
+            the fast one has failed.
+        fallback_after: first attempt index that uses the fallback.
+    """
+
+    max_attempts: int = 3
+    coverage_growth: float = 2.0
+    read_budget_per_attempt: int | None = None
+    fallback_reconstructor: Reconstructor | None = None
+    fallback_after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.coverage_growth < 1.0:
+            raise ConfigError(
+                f"coverage_growth must be >= 1, got {self.coverage_growth}"
+            )
+        if (
+            self.read_budget_per_attempt is not None
+            and self.read_budget_per_attempt < 1
+        ):
+            raise ConfigError(
+                "read_budget_per_attempt must be >= 1, got "
+                f"{self.read_budget_per_attempt}"
+            )
+        if self.fallback_after < 0:
+            raise ConfigError(
+                f"fallback_after must be >= 0, got {self.fallback_after}"
+            )
+
+    def coverage_for_attempt(
+        self, base_coverage: int, attempt: int, n_strands: int
+    ) -> int:
+        """Escalated per-strand coverage for a (0-based) attempt."""
+        coverage = max(
+            1, math.ceil(base_coverage * self.coverage_growth**attempt)
+        )
+        if self.read_budget_per_attempt is not None and n_strands > 0:
+            coverage = min(
+                coverage, max(1, self.read_budget_per_attempt // n_strands)
+            )
+        return coverage
+
+    def reconstructor_for_attempt(
+        self, primary: Reconstructor, attempt: int
+    ) -> Reconstructor:
+        """The algorithm attempt ``attempt`` should use."""
+        if (
+            self.fallback_reconstructor is not None
+            and attempt >= self.fallback_after
+        ):
+            return self.fallback_reconstructor
+        return primary
+
+
+@dataclass(frozen=True)
+class AttemptReport:
+    """Diagnostics from one sequencing-and-decode attempt."""
+
+    attempt: int
+    coverage: int
+    n_reads: int
+    n_parsed_strands: int
+    n_missing_strands: int
+    reconstructor: str
+    succeeded: bool
+    failure: str | None = None
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """The structured outcome of a resilient retrieval.
+
+    ``complete=True`` means byte-exact recovery; otherwise ``data`` holds
+    the recovered bytes with zero-fill at unrecovered positions, and
+    ``erasure_map`` pinpoints exactly which byte ranges those are.
+    """
+
+    key: str
+    data: bytes
+    complete: bool
+    data_length: int
+    recovered_bytes: int
+    #: Half-open ``[start, end)`` byte ranges NOT recovered.
+    erasure_map: tuple[tuple[int, int], ...]
+    #: Strand index -> human-readable failure reason (final attempt).
+    strand_failures: dict[int, str] = field(default_factory=dict)
+    attempts: tuple[AttemptReport, ...] = ()
+    n_erasures: int = 0
+    n_corrected_errors: int = 0
+    n_reads: int = 0
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Fraction of file bytes recovered (1.0 for complete)."""
+        if self.data_length == 0:
+            return 1.0
+        return self.recovered_bytes / self.data_length
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.complete:
+            return (
+                f"{self.key!r}: recovered {self.data_length} bytes exactly "
+                f"in {self.n_attempts} attempt(s), {self.n_reads} reads"
+            )
+        return (
+            f"{self.key!r}: PARTIAL — {self.recovered_bytes}/"
+            f"{self.data_length} bytes ({self.recovery_fraction * 100:.1f}%)"
+            f" after {self.n_attempts} attempt(s); "
+            f"{len(self.erasure_map)} erased range(s), "
+            f"{len(self.strand_failures)} strand failure(s)"
+        )
+
+
+def ranges_from_flags(flags: Sequence[bool]) -> tuple[tuple[int, int], ...]:
+    """Compress a per-byte ``recovered`` flag vector into half-open
+    ``[start, end)`` ranges of the *unrecovered* positions."""
+    ranges: list[tuple[int, int]] = []
+    start: int | None = None
+    for position, recovered in enumerate(flags):
+        if not recovered and start is None:
+            start = position
+        elif recovered and start is not None:
+            ranges.append((start, position))
+            start = None
+    if start is not None:
+        ranges.append((start, len(flags)))
+    return tuple(ranges)

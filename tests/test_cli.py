@@ -107,3 +107,58 @@ class TestExperimentCommand:
     def test_runs_fig_3_2_at_small_scale(self, capsys):
         assert main(["experiment", "fig_3_2", "--clusters", "30"]) == 0
         assert "Gestalt-aligned" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_sweeps_and_reports_recovery(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--clusters",
+                "10",
+                "--trials",
+                "1",
+                "--severities",
+                "none",
+                "severe",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recovered exactly" in output
+        assert "unhandled exceptions: 0" in output
+
+    def test_unknown_severity_exits(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--severities", "apocalyptic"])
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_nonzero_with_one_line_message(self, capsys):
+        code = main(["profile", "/no/such/dataset.txt"])
+        assert code != 0
+        captured = capsys.readouterr()
+        assert captured.err.startswith("dnasim: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_malformed_dataset_exits_with_tagged_message(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "broken.txt"
+        path.write_text("ACGT\nACGA\n")  # missing separator line
+        code = main(["profile", str(path)])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "dnasim: error: [data]" in err
+        assert f"{path.name}:2:" in err
+
+    def test_debug_flag_reraises(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("ACGT\nACGA\n")
+        with pytest.raises(ValueError):
+            main(["--debug", "profile", str(path)])
+
+    def test_debug_flag_reraises_oserror(self):
+        with pytest.raises(OSError):
+            main(["--debug", "profile", "/no/such/dataset.txt"])

@@ -13,6 +13,7 @@ from repro.data.io import (
     read_reads,
 )
 from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import DataFormatError
 
 
 class TestPoolRoundtrip:
@@ -63,6 +64,53 @@ class TestPoolParsingErrors:
         with pytest.raises(Exception):
             read_pool(path)
 
+    def test_errors_carry_file_and_line_context(self, tmp_path):
+        path = tmp_path / "badbase.txt"
+        path.write_text("ACGT\n*****\nACXT\n\n")
+        with pytest.raises(DataFormatError, match=rf"{path.name}:3:"):
+            read_pool(path)
+
+    def test_duplicate_separator_rejected(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("ACGT\n*****\nACGA\n*****\nACGG\n\n")
+        with pytest.raises(DataFormatError, match="duplicate cluster separator"):
+            read_pool(path)
+
+    def test_leading_separator_rejected(self, tmp_path):
+        path = tmp_path / "lead.txt"
+        path.write_text("*****\nACGT\n\n")
+        with pytest.raises(DataFormatError, match="no reference strand"):
+            read_pool(path)
+
+    def test_errors_are_valueerrors_for_back_compat(self, tmp_path):
+        path = tmp_path / "trunc.txt"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            read_pool(path)
+
+
+class TestPoolParsingTolerance:
+    def test_trailing_whitespace_tolerated(self, tmp_path):
+        path = tmp_path / "ws.txt"
+        path.write_text("ACGT  \n***** \t\nACGA\t\n\n")
+        pool = read_pool(path)
+        assert pool.references == ["ACGT"]
+        assert pool[0].copies == ["ACGA"]
+
+    def test_blank_line_count_variants_tolerated(self, tmp_path):
+        path = tmp_path / "blanks.txt"
+        path.write_text(
+            "ACGT\n*****\nACGA\n\n\n\nTTTT\n*****\nTTTA\n"
+        )
+        pool = read_pool(path)
+        assert pool.references == ["ACGT", "TTTT"]
+
+    def test_missing_final_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "nofinal.txt"
+        path.write_text("ACGT\n*****\nACGA")
+        pool = read_pool(path)
+        assert pool[0].copies == ["ACGA"]
+
 
 class TestReferenceFiles:
     def test_references_roundtrip(self, tmp_path):
@@ -79,6 +127,12 @@ class TestReferenceFiles:
         path = tmp_path / "refs.txt"
         with pytest.raises(Exception):
             write_references(["ACGU"], path)
+
+    def test_read_references_error_carries_context(self, tmp_path):
+        path = tmp_path / "refs.txt"
+        path.write_text("ACGT\nACGU\n")
+        with pytest.raises(DataFormatError, match=rf"{path.name}:2:"):
+            read_references(path)
 
 
 class TestReadFiles:

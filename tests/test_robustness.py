@@ -1,0 +1,420 @@
+"""Tests for fault injection, retry policies, the exception taxonomy,
+and the archive's partial-recovery failure paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alphabet import validate_strand
+from repro.core.channel import Channel
+from repro.core.errors import ErrorModel
+from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import (
+    ChannelFaultError,
+    ConfigError,
+    DataFormatError,
+    DecodeError,
+    EncodeError,
+    ReproError,
+    RetrievalError,
+)
+from repro.pipeline.encoding import CodecError
+from repro.pipeline.reed_solomon import ReedSolomonError
+from repro.pipeline.storage import ArchiveError, DNAArchive
+from repro.pipeline.synthesis import StrandParseError
+from repro.robustness import (
+    SEVERITY_LEVELS,
+    FaultInjector,
+    FaultSpec,
+    RecoveryResult,
+    RetryPolicy,
+    ranges_from_flags,
+    resolve_spec,
+)
+
+READS = ["ACGTACGTACGTACGT", "ACGTACGAACGTACGT", "ACGTACGTACGTACGA"]
+
+
+class TestFaultSpec:
+    def test_default_is_clean(self):
+        assert FaultSpec().is_clean
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "cluster_dropout",
+            "read_truncation",
+            "read_duplication",
+            "chimera_rate",
+            "contaminant_rate",
+            "pool_corruption",
+        ],
+    )
+    def test_rates_validated(self, field):
+        with pytest.raises(ConfigError):
+            FaultSpec(**{field: 1.5})
+        with pytest.raises(ConfigError):
+            FaultSpec(**{field: -0.1})
+
+    def test_truncation_keep_min_validated(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(truncation_keep_min=0.0)
+
+    def test_scaled_caps_at_one(self):
+        spec = FaultSpec(cluster_dropout=0.4).scaled(10)
+        assert spec.cluster_dropout == 1.0
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigError):
+            FaultSpec().scaled(-1)
+
+    def test_severity_ladder_is_monotone(self):
+        ladder = list(SEVERITY_LEVELS.values())
+        for field in (
+            "cluster_dropout",
+            "read_truncation",
+            "pool_corruption",
+        ):
+            rates = [getattr(spec, field) for spec in ladder]
+            assert rates == sorted(rates)
+
+    def test_resolve_spec_accepts_name_and_spec(self):
+        assert resolve_spec("none").is_clean
+        spec = FaultSpec(chimera_rate=0.5)
+        assert resolve_spec(spec) is spec
+
+    def test_resolve_spec_rejects_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown fault severity"):
+            resolve_spec("apocalyptic")
+
+
+class TestFaultInjector:
+    def test_clean_spec_is_identity(self):
+        assert FaultInjector("none").inject_reads(READS) == READS
+
+    def test_same_seed_replays_identical_faults(self):
+        first = FaultInjector("severe", seed=7).inject_reads(READS * 20)
+        second = FaultInjector("severe", seed=7).inject_reads(READS * 20)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = FaultInjector("severe", seed=7).inject_reads(READS * 20)
+        second = FaultInjector("severe", seed=8).inject_reads(READS * 20)
+        assert first != second
+
+    def test_reset_replays(self):
+        injector = FaultInjector("severe", seed=3)
+        first = injector.inject_reads(READS * 10)
+        injector.reset()
+        assert injector.inject_reads(READS * 10) == first
+        assert injector.report.total_faults > 0
+
+    def test_cluster_dropout(self):
+        injector = FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0)
+        assert injector.inject_reads(READS) == []
+        assert injector.report.clusters_dropped == 1
+
+    def test_truncation_shortens_reads(self):
+        injector = FaultInjector(
+            FaultSpec(read_truncation=1.0, truncation_keep_min=0.5), seed=0
+        )
+        read = "ACGT" * 25
+        out = injector.inject_reads([read] * 50)
+        assert injector.report.reads_truncated > 0
+        assert all(len(r) <= len(read) for r in out)
+        assert all(len(r) >= int(len(read) * 0.5) for r in out)
+
+    def test_duplication_adds_reads(self):
+        injector = FaultInjector(FaultSpec(read_duplication=0.5), seed=0)
+        out = injector.inject_reads(READS * 20)
+        assert len(out) > len(READS) * 20
+        assert injector.report.reads_duplicated == len(out) - len(READS) * 20
+
+    def test_chimeras_splice_reads(self):
+        injector = FaultInjector(FaultSpec(chimera_rate=1.0), seed=0)
+        out = injector.inject_reads(READS)
+        assert injector.report.chimeras_formed == len(READS)
+        for read in out:
+            validate_strand(read)
+
+    def test_contaminants_are_valid_dna(self):
+        injector = FaultInjector(FaultSpec(contaminant_rate=0.9), seed=1)
+        out = injector.inject_reads(READS)
+        assert injector.report.contaminants_added > 0
+        assert len(out) == len(READS) + injector.report.contaminants_added
+        for read in out:
+            validate_strand(read)
+
+    def test_corruption_flips_bases_in_place(self):
+        injector = FaultInjector(FaultSpec(pool_corruption=0.5), seed=0)
+        out = injector.inject_reads(READS)
+        assert injector.report.bases_corrupted > 0
+        assert [len(r) for r in out] == [len(r) for r in READS]
+        assert out != READS
+
+    def test_inject_pool_preserves_references(self):
+        pool = StrandPool(
+            [Cluster("ACGTACGT", ["ACGTACGT", "ACGTACGA"])] * 3
+        )
+        faulted = FaultInjector("severe", seed=0).inject_pool(pool)
+        assert faulted.references == pool.references
+        assert len(faulted) == len(pool)
+
+    def test_wrap_composes_with_any_channel(self, rng):
+        channel = Channel(ErrorModel.naive(0.01, 0.01, 0.01), rng)
+        faulty = FaultInjector(
+            FaultSpec(read_duplication=0.5), seed=0
+        ).wrap(channel)
+        reads = faulty.transmit_many("ACGT" * 20, 10)
+        assert len(reads) > 10
+        cluster = faulty.transmit_cluster("ACGT" * 20, 5)
+        assert cluster.reference == "ACGT" * 20
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(coverage_growth=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(read_budget_per_attempt=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(fallback_after=-1)
+
+    def test_coverage_escalates_geometrically(self):
+        policy = RetryPolicy(max_attempts=3, coverage_growth=2.0)
+        schedule = [
+            policy.coverage_for_attempt(4, attempt, 100)
+            for attempt in range(3)
+        ]
+        assert schedule == [4, 8, 16]
+
+    def test_read_budget_clamps_coverage(self):
+        policy = RetryPolicy(coverage_growth=4.0, read_budget_per_attempt=500)
+        assert policy.coverage_for_attempt(8, 3, 100) == 5
+
+    def test_fallback_reconstructor_schedule(self):
+        primary = object()
+        fallback = object()
+        policy = RetryPolicy(
+            fallback_reconstructor=fallback, fallback_after=1
+        )
+        assert policy.reconstructor_for_attempt(primary, 0) is primary
+        assert policy.reconstructor_for_attempt(primary, 1) is fallback
+        assert policy.reconstructor_for_attempt(primary, 2) is fallback
+
+
+class TestRangesFromFlags:
+    def test_all_recovered(self):
+        assert ranges_from_flags([True, True]) == ()
+
+    def test_all_missing(self):
+        assert ranges_from_flags([False] * 3) == ((0, 3),)
+
+    def test_interior_and_tail_runs(self):
+        flags = [True, False, False, True, False]
+        assert ranges_from_flags(flags) == ((1, 3), (4, 5))
+
+    def test_empty(self):
+        assert ranges_from_flags([]) == ()
+
+
+class TestExceptionTaxonomy:
+    def test_stage_tags(self):
+        assert ConfigError("x").tagged() == "[config] x"
+        assert DataFormatError("y").stage == "data"
+
+    def test_every_stage_error_is_reproerror(self):
+        for kind in (
+            ConfigError,
+            DataFormatError,
+            EncodeError,
+            ChannelFaultError,
+            DecodeError,
+            RetrievalError,
+        ):
+            assert issubclass(kind, ReproError)
+
+    def test_back_compat_bases(self):
+        # Pre-taxonomy code raised ValueError / RuntimeError; callers
+        # catching those must keep working.
+        assert issubclass(CodecError, ValueError)
+        assert issubclass(ReedSolomonError, ValueError)
+        assert issubclass(StrandParseError, ValueError)
+        assert issubclass(EncodeError, ValueError)
+        assert issubclass(ArchiveError, RuntimeError)
+
+    def test_pipeline_errors_map_to_stages(self):
+        assert issubclass(CodecError, DecodeError)
+        assert issubclass(StrandParseError, DecodeError)
+        assert issubclass(ArchiveError, RetrievalError)
+
+
+def _archive(**kwargs) -> DNAArchive:
+    defaults = dict(
+        payload_bytes=8, rs_group_data=8, rs_group_parity=4, seed=0
+    )
+    defaults.update(kwargs)
+    return DNAArchive(**defaults)
+
+
+class TestResilientRetrieve:
+    PAYLOAD = bytes(range(200)) + b"resilience" * 6
+
+    def test_clean_channel_first_attempt(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve("f", coverage=3)
+        assert isinstance(result, RecoveryResult)
+        assert result.complete
+        assert result.data == self.PAYLOAD
+        assert result.n_attempts == 1
+        assert result.erasure_map == ()
+        assert result.strand_failures == {}
+        assert result.recovery_fraction == 1.0
+
+    def test_retry_escalates_coverage(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            channel_model=ErrorModel.naive(0.02, 0.02, 0.03),
+            coverage=2,
+            faults=FaultInjector("moderate", seed=4),
+            retry=RetryPolicy(max_attempts=3, coverage_growth=2.0),
+        )
+        coverages = [report.coverage for report in result.attempts]
+        assert coverages == sorted(coverages)
+        assert result.n_reads > 0
+
+    def test_unknown_key_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            _archive().retrieve("missing")
+
+    def test_invalid_coverage_rejected(self):
+        archive = _archive()
+        archive.write("f", b"x")
+        with pytest.raises(ConfigError):
+            archive.retrieve("f", coverage=0)
+
+
+class TestPartialRecoveryShape:
+    """ISSUE failure paths: the structured result, never a raw exception."""
+
+    PAYLOAD = bytes((i * 7 + 3) % 256 for i in range(300))
+
+    def _assert_partial_shape(self, result, payload):
+        assert isinstance(result, RecoveryResult)
+        assert not result.complete
+        assert result.data_length == len(payload)
+        assert len(result.data) == len(payload)
+        assert 0 <= result.recovered_bytes <= len(payload)
+        for start, end in result.erasure_map:
+            assert 0 <= start < end <= len(payload)
+        assert result.n_attempts >= 1
+        assert all(not report.succeeded for report in result.attempts)
+
+    def test_empty_pool_every_cluster_dropped(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        self._assert_partial_shape(result, self.PAYLOAD)
+        assert result.recovered_bytes == 0
+        assert result.erasure_map == ((0, len(self.PAYLOAD)),)
+        assert all(
+            "dropped" in reason for reason in result.strand_failures.values()
+        )
+
+    def test_all_clusters_erased_by_decay(self):
+        import random
+
+        from repro.pipeline.decay import DecayParameters, StorageDecay
+
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        decay = StorageDecay(
+            DecayParameters(half_life_years=1e-6), rng=random.Random(0)
+        )
+        result = archive.retrieve(
+            "f",
+            decay=decay,
+            storage_years=1000.0,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        self._assert_partial_shape(result, self.PAYLOAD)
+        assert result.recovered_bytes == 0
+        assert any(
+            "decay" in reason for reason in result.strand_failures.values()
+        )
+
+    def test_crc_corrupt_strands_become_failures(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector(FaultSpec(pool_corruption=0.4), seed=1),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        self._assert_partial_shape(result, self.PAYLOAD)
+        assert result.strand_failures
+        assert any(
+            "parse" in reason or "no read" in reason
+            for reason in result.strand_failures.values()
+        )
+
+    def test_rs_overwhelmed_still_structured(self):
+        archive = _archive(rs_group_parity=2)
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector("extreme", seed=2),
+            retry=RetryPolicy(max_attempts=2),
+        )
+        self._assert_partial_shape(result, self.PAYLOAD)
+        assert "PARTIAL" in result.summary()
+
+    def test_partial_bytes_that_are_recovered_are_correct(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector(
+                FaultSpec(cluster_dropout=0.6), seed=5
+            ),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        if result.complete:
+            pytest.skip("seed recovered everything; shape not exercised")
+        recovered = set(range(len(self.PAYLOAD)))
+        for start, end in result.erasure_map:
+            recovered -= set(range(start, end))
+        assert len(recovered) == result.recovered_bytes
+        for position in recovered:
+            assert result.data[position] == self.PAYLOAD[position]
+
+    def test_no_exception_escapes_at_any_severity(self):
+        for severity in SEVERITY_LEVELS:
+            archive = _archive(rs_group_parity=2)
+            archive.write("f", self.PAYLOAD[:100])
+            result = archive.retrieve(
+                "f",
+                channel_model=ErrorModel.naive(0.01, 0.01, 0.02),
+                coverage=2,
+                faults=FaultInjector(severity, seed=0),
+                retry=RetryPolicy(max_attempts=2),
+            )
+            assert isinstance(result, RecoveryResult)
+
+    def test_strict_read_still_raises(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        with pytest.raises(ArchiveError):
+            archive.read(
+                "f",
+                faults=FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0),
+            )
