@@ -2,10 +2,17 @@
 
 Unlike the table/figure benches these measure throughput of the library's
 kernels: channel transmission, maximum-likelihood alignment, gestalt
-matching, and each reconstruction algorithm on a fixed cluster.
+matching, and each reconstruction algorithm on a fixed cluster — plus
+the serial-vs-parallel stage comparison, whose timings are written to
+``BENCH_throughput.json`` at the repo root so the perf trajectory of the
+per-cluster stages is recorded PR over PR.
 """
 
+import json
+import os
 import random
+import time
+from pathlib import Path
 
 import pytest
 
@@ -13,13 +20,25 @@ from repro.align.gestalt import matching_blocks
 from repro.align.operations import edit_operations
 from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile
 from repro.data.nanopore import ground_truth_model
+from repro.metrics.curves import pre_reconstruction_curves
 from repro.reconstruct.bma import BMALookahead
 from repro.reconstruct.divider_bma import DividerBMA
 from repro.reconstruct.iterative import IterativeReconstruction
 from repro.reconstruct.two_way import TwoWayIterative
 
 STRAND_LENGTH = 110
+
+#: Where the stage-timing record lands (the repo root).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+#: Worker count used for the parallel passes (capped by the machine).
+BENCH_WORKERS = 4
+
+#: Wall-clock speedup the reconstruct stage must reach with 4 workers on
+#: multi-core hardware.
+MIN_RECONSTRUCT_SPEEDUP = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +78,78 @@ def test_bench_gestalt_blocks(benchmark, reference, cluster):
 )
 def test_bench_reconstructors(benchmark, reconstructor, cluster):
     benchmark(reconstructor.reconstruct, cluster, STRAND_LENGTH)
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_bench_parallel_stages(warm_context, n_clusters):
+    """Serial vs parallel wall-clock for the three RNG-free per-cluster
+    stages, recorded to ``BENCH_throughput.json``.
+
+    Each stage's parallel result is also checked bit-identical to its
+    serial result — a speedup that changes the numbers would be a bug,
+    not a win.  The speedup assertion only runs on >= 4 cores (single-
+    and dual-core runners record timings but skip the check).
+    """
+    context = warm_context
+    cpu_count = os.cpu_count() or 1
+    workers = min(BENCH_WORKERS, cpu_count)
+    reconstruct_pool = context.real_at_coverage(10)
+    stages = {}
+
+    serial_profile, serial_s = _timed(
+        ErrorProfile.from_pool, context.real_pool, 4, None, 1
+    )
+    parallel_profile, parallel_s = _timed(
+        ErrorProfile.from_pool, context.real_pool, 4, None, workers
+    )
+    assert parallel_profile.statistics == serial_profile.statistics
+    stages["profile_fit"] = {"serial_s": serial_s, "parallel_s": parallel_s}
+
+    reconstructor = IterativeReconstruction()
+    serial_estimates, serial_s = _timed(
+        reconstructor.reconstruct_pool, reconstruct_pool, STRAND_LENGTH, 1
+    )
+    parallel_estimates, parallel_s = _timed(
+        reconstructor.reconstruct_pool, reconstruct_pool, STRAND_LENGTH, workers
+    )
+    assert parallel_estimates == serial_estimates
+    stages["reconstruct"] = {"serial_s": serial_s, "parallel_s": parallel_s}
+
+    serial_curves, serial_s = _timed(
+        pre_reconstruction_curves, context.real_pool, 4, 1
+    )
+    parallel_curves, parallel_s = _timed(
+        pre_reconstruction_curves, context.real_pool, 4, workers
+    )
+    assert parallel_curves == serial_curves
+    stages["curves"] = {"serial_s": serial_s, "parallel_s": parallel_s}
+
+    for timings in stages.values():
+        timings["speedup"] = (
+            timings["serial_s"] / timings["parallel_s"]
+            if timings["parallel_s"] > 0
+            else 0.0
+        )
+    record = {
+        "n_clusters": n_clusters,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "reconstructor": reconstructor.name,
+        "reconstruct_coverage": 10,
+        "stages": stages,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
+
+    if cpu_count == 1:
+        pytest.skip("single-core runner: parallel stages fall back to serial")
+    if cpu_count >= BENCH_WORKERS:
+        assert stages["reconstruct"]["speedup"] >= MIN_RECONSTRUCT_SPEEDUP, (
+            f"reconstruct stage speedup {stages['reconstruct']['speedup']:.2f}x "
+            f"with {workers} workers is below {MIN_RECONSTRUCT_SPEEDUP}x "
+            f"(timings recorded in {BENCH_JSON.name})"
+        )

@@ -68,6 +68,12 @@ from repro.metrics.accuracy import (
     per_character_accuracy,
     per_strand_accuracy,
 )
+from repro.parallel import (
+    default_workers,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+)
 from repro.reconstruct.bma import BMALookahead
 from repro.reconstruct.divider_bma import DividerBMA
 from repro.reconstruct.iterative import IterativeReconstruction
@@ -126,10 +132,14 @@ __all__ = [
     "TwoWayIterative",
     "UniformSpatial",
     "VShapedSpatial",
+    "default_workers",
     "evaluate_reconstruction",
     "make_nanopore_dataset",
+    "parallel_map",
     "per_character_accuracy",
     "per_strand_accuracy",
+    "resolve_workers",
+    "set_default_workers",
     "transition_biased_substitution_matrix",
     "uniform_substitution_matrix",
     "__version__",

@@ -86,14 +86,16 @@ def normalized_edit_distance(first: str, second: str) -> float:
     return edit_distance(first, second) / longest
 
 
-def edit_distance_matrix(first: str, second: str) -> list[list[int]]:
-    """Full (len(first)+1) x (len(second)+1) DP matrix.
+def edit_distance_matrix(first: str, second: str) -> np.ndarray:
+    """Full (len(first)+1) x (len(second)+1) DP matrix as ``int32`` numpy.
 
     ``matrix[i][j]`` is the distance between ``first[:i]`` and
     ``second[:j]``.  Used by the backtrace in
     :mod:`repro.align.operations`.  Large inputs are routed to the
-    vectorised :func:`edit_distance_matrix_fast`; either way the result is
-    indexable as ``matrix[i][j]``.
+    vectorised :func:`edit_distance_matrix_fast`; small inputs use a
+    pure-Python DP (less per-row overhead) whose result is converted, so
+    **every** call returns the same type — callers must not have to care
+    which path ran when they mutate, ``len()``, or compare the result.
     """
     if len(first) * len(second) > 1024:
         return edit_distance_matrix_fast(first, second)
@@ -114,7 +116,7 @@ def edit_distance_matrix(first: str, second: str) -> list[list[int]]:
                 matrix_row[column - 1] + 1,
                 matrix_above[column - 1] + substitution_cost,
             )
-    return matrix
+    return np.asarray(matrix, dtype=np.int32)
 
 
 def edit_distance_matrix_fast(first: str, second: str) -> np.ndarray:

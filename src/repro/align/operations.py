@@ -88,6 +88,8 @@ def edit_operations(
     operations left to right reproduces ``copy`` exactly (verified by the
     test suite's round-trip property).
     """
+    # Always an int32 ndarray (both matrix code paths return one), so the
+    # backtrace comparisons below see uniform integer semantics.
     matrix = edit_distance_matrix(reference, copy)
     operations: list[EditOp] = []
     row, column = len(reference), len(copy)

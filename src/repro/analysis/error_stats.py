@@ -175,6 +175,38 @@ class ErrorStatistics:
             for copy in copies:
                 self.tally_pair(cluster.reference, copy, rng)
 
+    def merge(self, other: "ErrorStatistics") -> None:
+        """Fold another tally into this one.
+
+        Tallying is purely additive, so merging per-chunk statistics in
+        chunk order reproduces a serial :meth:`tally_pool` bit for bit —
+        the property the parallel profile fit
+        (:meth:`repro.core.profile.ErrorProfile.from_pool` with
+        ``workers > 1``) relies on.
+        """
+        self._ensure_length(other.strand_length)
+        self.pair_count += other.pair_count
+        self.base_opportunities.update(other.base_opportunities)
+        for position, value in enumerate(other.position_opportunities):
+            self.position_opportunities[position] += value
+        self.insertion_counts.update(other.insertion_counts)
+        self.deletion_counts.update(other.deletion_counts)
+        self.substitution_counts.update(other.substitution_counts)
+        self.substitution_pairs.update(other.substitution_pairs)
+        self.inserted_bases.update(other.inserted_bases)
+        self.long_deletion_count += other.long_deletion_count
+        self.long_deletion_lengths.update(other.long_deletion_lengths)
+        for position, value in enumerate(other.error_positions):
+            self.error_positions[position] += value
+        self.second_order_counts.update(other.second_order_counts)
+        for key, histogram in other.second_order_positions.items():
+            mine = self.second_order_positions.get(key)
+            if mine is None:
+                mine = [0] * self.strand_length
+                self.second_order_positions[key] = mine
+            for position, value in enumerate(histogram):
+                mine[position] += value
+
     # ---------------------------------------------------------------- #
     # Derived rates
     # ---------------------------------------------------------------- #

@@ -27,10 +27,11 @@ from collections.abc import Sequence
 
 from repro.core.coverage import ConstantCoverage
 from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.parallel import set_default_workers
 from repro.core.simulator import Simulator
 from repro.data.io import read_pool, read_references, write_pool
 from repro.data.nanopore import make_nanopore_dataset
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigError, ReproError
 from repro.metrics.accuracy import evaluate_reconstruction
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.bma import BMALookahead
@@ -136,6 +137,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         stage=stage,
         coverage=ConstantCoverage(args.coverage),
         seed=args.seed,
+        per_cluster_seeds=args.parallel_seeds,
     )
     if args.references:
         references = read_references(args.references)
@@ -214,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-raise errors with a full traceback instead of a "
         "one-line message",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for per-cluster stages (profile fitting, "
+        "reconstruction, curves; 0 = all cores; overrides REPRO_WORKERS; "
+        "default: serial)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     dataset = commands.add_parser(
@@ -247,6 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--references", help="optional reference-strand file")
     generate.add_argument("--max-copies", type=int, default=4)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--parallel-seeds",
+        action="store_true",
+        help="derive one RNG stream per cluster from (seed, index) so "
+        "simulation can run on --workers processes; changes the drawn "
+        "noise relative to the default serial stream",
+    )
     generate.set_defaults(handler=_cmd_generate)
 
     evaluate = commands.add_parser(
@@ -307,6 +325,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.workers is not None:
+            # Install the default so every per-cluster stage a subcommand
+            # reaches (directly or through the experiment runners)
+            # inherits it.
+            try:
+                set_default_workers(args.workers)
+            except ValueError as error:
+                raise ConfigError(str(error)) from error
         return args.handler(args)
     except (ReproError, OSError) as error:
         if args.debug:

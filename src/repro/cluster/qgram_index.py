@@ -31,6 +31,15 @@ def qgrams(sequence: str, q: int) -> set[str]:
     return {sequence[start : start + q] for start in range(len(sequence) - q + 1)}
 
 
+#: Signature value for reads with no q-grams (empty reads).  Real
+#: min-hashes are non-negative 32-bit values, so the sentinel can never
+#: collide with one — previously empty reads signed ``0`` in every band,
+#: colliding with each other and with any read whose min-hash was
+#: genuinely 0.  Sentinel signatures are never bucketed: an empty read
+#: carries no q-gram evidence of similarity to anything.
+EMPTY_SIGNATURE = -1
+
+
 def _stable_hash(text: str, seed: int) -> int:
     """Deterministic FNV-1a string hash with a seed mixed in.
 
@@ -67,18 +76,26 @@ class QGramIndex:
         self._count = 0
 
     def signature(self, sequence: str) -> list[int]:
-        """The read's min-hash signature, one value per band."""
+        """The read's min-hash signature, one value per band.
+
+        A read with no q-grams (only the empty read, since shorter-than-q
+        reads contribute themselves as a gram) signs
+        :data:`EMPTY_SIGNATURE` in every band.
+        """
         grams = qgrams(sequence, self.q)
         if not grams:
-            return [0] * self.bands
+            return [EMPTY_SIGNATURE] * self.bands
         return [
             min(_stable_hash(gram, band) for gram in grams)
             for band in range(self.bands)
         ]
 
     def add(self, read_index: int, sequence: str) -> None:
-        """Register a read under its signature buckets."""
+        """Register a read under its signature buckets (empty reads are
+        counted but never bucketed — they match nothing)."""
         for band, value in enumerate(self.signature(sequence)):
+            if value == EMPTY_SIGNATURE:
+                continue
             self._buckets[band][value].append(read_index)
         self._count += 1
 
@@ -86,6 +103,8 @@ class QGramIndex:
         """Indices of previously added reads sharing any bucket."""
         found: set[int] = set()
         for band, value in enumerate(self.signature(sequence)):
+            if value == EMPTY_SIGNATURE:
+                continue
             found.update(self._buckets[band].get(value, ()))
         return found
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence
+from functools import partial
 
 from repro.core.alphabet import random_strand
 from repro.core.channel import Channel
 from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile, SimulatorStage
-from repro.core.strand import StrandPool
+from repro.core.strand import Cluster, StrandPool
+from repro.parallel import chunk_items, derive_seed, parallel_map, resolve_workers
 
 
 class Simulator:
@@ -42,6 +44,13 @@ class Simulator:
         seed: seed for the simulator's private random stream.  Two
             simulators constructed with the same model, coverage, and seed
             produce identical pools.
+        per_cluster_seeds: opt into deriving an independent RNG stream
+            per cluster from ``(seed, cluster_index)``.  This changes the
+            generated pool relative to the default single-stream draw
+            order (which is a reproducibility contract and stays serial),
+            but makes :meth:`simulate` bit-identical at every worker
+            count — the prerequisite for parallel simulation.  Requires
+            an explicit ``seed``.
     """
 
     def __init__(
@@ -49,9 +58,14 @@ class Simulator:
         model: ErrorModel,
         coverage: CoverageModel | None = None,
         seed: int | None = None,
+        per_cluster_seeds: bool = False,
     ) -> None:
+        if per_cluster_seeds and seed is None:
+            raise ValueError("per_cluster_seeds requires an explicit seed")
         self.model = model
         self.coverage = coverage if coverage is not None else ConstantCoverage(5)
+        self.seed = seed
+        self.per_cluster_seeds = per_cluster_seeds
         self.rng = random.Random(seed)
         self.channel = Channel(model, self.rng)
 
@@ -63,15 +77,59 @@ class Simulator:
         coverage: CoverageModel | None = None,
         seed: int | None = None,
         top_second_order: int = 10,
+        per_cluster_seeds: bool = False,
     ) -> "Simulator":
         """Build a simulator from a fitted :class:`ErrorProfile` at any of
         the paper's four model stages."""
         model = profile.model_for_stage(stage, top_second_order)
-        return cls(model, coverage, seed)
+        return cls(model, coverage, seed, per_cluster_seeds)
 
-    def simulate(self, references: Sequence[str]) -> StrandPool:
-        """Transmit every reference; returns a pseudo-clustered pool."""
-        return self.channel.transmit_pool(references, self.coverage)
+    def simulate(
+        self,
+        references: Sequence[str],
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> StrandPool:
+        """Transmit every reference; returns a pseudo-clustered pool.
+
+        The default simulator draws every random variate from one serial
+        stream — that exact draw order is a compatibility contract, so
+        ``workers`` is ignored unless the simulator was constructed with
+        ``per_cluster_seeds=True``.  In that mode each cluster owns an
+        RNG derived from ``(seed, cluster_index)`` and clusters can be
+        transmitted on a process pool, bit-identical at any worker count.
+        """
+        if not self.per_cluster_seeds:
+            return self.channel.transmit_pool(references, self.coverage)
+        return self._simulate_seeded(references, self.coverage, workers, chunk_size)
+
+    def _simulate_seeded(
+        self,
+        references: Sequence[str],
+        coverage_model: CoverageModel,
+        workers: int | None,
+        chunk_size: int | None,
+    ) -> StrandPool:
+        """Per-cluster-seeded simulation (serial or process pool).
+
+        Coverages are drawn up front from a dedicated stream (index -1 of
+        the seed derivation) so coverage models that need the whole pool
+        at once (e.g. ``CustomCoverage``) keep working; each cluster's
+        transmissions then consume only its own derived stream, making
+        the result independent of chunking and worker count.
+        """
+        coverage_rng = random.Random(derive_seed(self.seed, -1))
+        coverages = coverage_model.draw(len(references), coverage_rng)
+        items = list(zip(range(len(references)), references, coverages))
+        effective_workers = resolve_workers(workers)
+        chunks = chunk_items(items, effective_workers, chunk_size)
+        per_chunk = parallel_map(
+            partial(_transmit_chunk, self.model, self.seed),
+            chunks,
+            workers=effective_workers,
+            chunk_size=1,
+        )
+        return StrandPool([cluster for chunk in per_chunk for cluster in chunk])
 
     def simulate_random(self, n_strands: int, strand_length: int) -> StrandPool:
         """Generate random references, then transmit them.
@@ -84,11 +142,42 @@ class Simulator:
         ]
         return self.simulate(references)
 
-    def simulate_like(self, reference_pool: StrandPool) -> StrandPool:
+    def simulate_like(
+        self,
+        reference_pool: StrandPool,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> StrandPool:
         """Simulate with **custom coverage**: each cluster receives exactly
         the coverage of the corresponding cluster of ``reference_pool``
-        (the paper's Table 2.1 protocol, Section 2.2.2)."""
+        (the paper's Table 2.1 protocol, Section 2.2.2).  Parallel only
+        with ``per_cluster_seeds=True``, like :meth:`simulate`."""
         from repro.core.coverage import CustomCoverage
 
         coverages = CustomCoverage(reference_pool.coverages())
-        return self.channel.transmit_pool(reference_pool.references, coverages)
+        if not self.per_cluster_seeds:
+            return self.channel.transmit_pool(reference_pool.references, coverages)
+        return self._simulate_seeded(
+            reference_pool.references, coverages, workers, chunk_size
+        )
+
+
+def _transmit_chunk(
+    model: ErrorModel,
+    base_seed: int,
+    chunk: list[tuple[int, str, int]],
+) -> list[Cluster]:
+    """Worker task for per-cluster-seeded simulation.
+
+    Transmits a chunk of ``(cluster_index, reference, coverage)`` items,
+    giving each cluster a fresh ``random.Random(derive_seed(base_seed,
+    cluster_index))`` so the output is a pure function of the item — the
+    channel (and its per-length ladder cache) is shared across the chunk
+    but its RNG is swapped per cluster.
+    """
+    channel = Channel(model)
+    clusters: list[Cluster] = []
+    for cluster_index, reference, coverage in chunk:
+        channel.rng = random.Random(derive_seed(base_seed, cluster_index))
+        clusters.append(channel.transmit_cluster(reference, coverage))
+    return clusters

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import os
 import random
+from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.experiments import cache as context_cache
 from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.core.simulator import Simulator
 from repro.core.coverage import ConstantCoverage
@@ -58,12 +60,26 @@ class ExperimentContext:
     _shuffled: StrandPool = field(init=False)
 
     def __post_init__(self) -> None:
-        self.real_pool = make_nanopore_dataset(
-            n_clusters=self.n_clusters, seed=DATASET_SEED
+        cached = context_cache.load_context_artifacts(
+            self.n_clusters, DATASET_SEED, PROFILE_COPIES
         )
-        self.profile = ErrorProfile.from_pool(
-            self.real_pool, max_copies_per_cluster=PROFILE_COPIES
-        )
+        if cached is not None:
+            self.real_pool, statistics = cached
+            self.profile = ErrorProfile(statistics)
+        else:
+            self.real_pool = make_nanopore_dataset(
+                n_clusters=self.n_clusters, seed=DATASET_SEED
+            )
+            self.profile = ErrorProfile.from_pool(
+                self.real_pool, max_copies_per_cluster=PROFILE_COPIES
+            )
+            context_cache.store_context_artifacts(
+                self.n_clusters,
+                DATASET_SEED,
+                PROFILE_COPIES,
+                self.real_pool,
+                self.profile.statistics,
+            )
         rng = random.Random(SHUFFLE_SEED)
         self._shuffled = self.real_pool.shuffled_copies(rng).with_min_coverage(10)
 
@@ -90,15 +106,38 @@ class ExperimentContext:
         )
 
 
-_CONTEXTS: dict[int, ExperimentContext] = {}
+#: In-memory contexts kept alive at once.  A context pins its full
+#: dataset plus fitted profile, so an unbounded map would leak one
+#: dataset per scale during sweeps (sensitivity studies, chaos at
+#: multiple ``n_clusters``); two covers the common "main scale plus one
+#: sweep point" access pattern, and evicted scales reload cheaply from
+#: the on-disk cache.
+MAX_CACHED_CONTEXTS = 2
+
+_CONTEXTS: OrderedDict[int, ExperimentContext] = OrderedDict()
 
 
 def get_context(n_clusters: int | None = None) -> ExperimentContext:
-    """Fetch (or build) the cached context at a given scale."""
+    """Fetch (or build) the cached context at a given scale.
+
+    At most :data:`MAX_CACHED_CONTEXTS` contexts stay in memory; the
+    least recently used is evicted when a new scale is requested.
+    """
     scale = n_clusters if n_clusters is not None else DEFAULT_N_CLUSTERS
-    if scale not in _CONTEXTS:
-        _CONTEXTS[scale] = ExperimentContext(scale)
-    return _CONTEXTS[scale]
+    context = _CONTEXTS.get(scale)
+    if context is None:
+        context = ExperimentContext(scale)
+        _CONTEXTS[scale] = context
+    _CONTEXTS.move_to_end(scale)
+    while len(_CONTEXTS) > MAX_CACHED_CONTEXTS:
+        _CONTEXTS.popitem(last=False)
+    return context
+
+
+def clear_contexts() -> None:
+    """Drop every in-memory context (tests, and sweeps that want a clean
+    slate between scales).  The on-disk artifact cache is unaffected."""
+    _CONTEXTS.clear()
 
 
 def standard_reconstructors() -> list[Reconstructor]:

@@ -15,11 +15,12 @@ reference) or post-reconstruction (each estimate against its reference).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.align.gestalt import gestalt_error_positions
 from repro.align.hamming import hamming_error_positions
 from repro.core.strand import StrandPool
+from repro.parallel import chunk_items, parallel_map, resolve_workers
 
 
 def _accumulate(
@@ -72,36 +73,100 @@ def gestalt_error_curve(
     )
 
 
+def merge_curves(curves: Iterable[Sequence[int]]) -> list[int]:
+    """Element-wise sum of positional curves of possibly differing
+    lengths (shorter curves are zero-padded).  Curve accumulation is
+    additive, so merging per-chunk curves reproduces the serial curve
+    exactly."""
+    merged: list[int] = []
+    for curve in curves:
+        if len(curve) > len(merged):
+            merged.extend([0] * (len(curve) - len(merged)))
+        for position, value in enumerate(curve):
+            merged[position] += value
+    return merged
+
+
+def _curves_for_pairs(
+    pairs: Sequence[tuple[str, str]],
+) -> tuple[list[int], list[int]]:
+    """Worker task for the parallel curve passes: both curves over a
+    chunk of (reference, other) pairs."""
+    references = [pair[0] for pair in pairs]
+    others = [pair[1] for pair in pairs]
+    return (
+        hamming_error_curve(references, others),
+        gestalt_error_curve(references, others),
+    )
+
+
+def _paired_curves(
+    pairs: list[tuple[str, str]],
+    workers: int | None,
+    chunk_size: int | None,
+    reference_length: int,
+) -> tuple[list[int], list[int]]:
+    """Both curves over (reference, other) pairs, chunked over a process
+    pool when ``workers > 1``; results are merged in order and padded to
+    the full reference length, matching the serial pass bit for bit."""
+    effective_workers = resolve_workers(workers)
+    if effective_workers <= 1 or len(pairs) < 2:
+        hamming, gestalt = _curves_for_pairs(pairs)
+    else:
+        chunks = chunk_items(pairs, effective_workers, chunk_size)
+        per_chunk = parallel_map(
+            _curves_for_pairs, chunks, workers=effective_workers, chunk_size=1
+        )
+        hamming = merge_curves(chunk[0] for chunk in per_chunk)
+        gestalt = merge_curves(chunk[1] for chunk in per_chunk)
+    # A chunk containing only short references yields a short curve; the
+    # serial curve is always at least the longest reference.
+    for curve in (hamming, gestalt):
+        if len(curve) < reference_length:
+            curve.extend([0] * (reference_length - len(curve)))
+    return hamming, gestalt
+
+
 def pre_reconstruction_curves(
-    pool: StrandPool, max_copies_per_cluster: int | None = None
+    pool: StrandPool,
+    max_copies_per_cluster: int | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> tuple[list[int], list[int]]:
     """(Hamming, gestalt) curves of raw noisy copies against references —
-    the paper's Fig. 3.2 analysis of dataset noise."""
-    references: list[str] = []
-    copies: list[str] = []
+    the paper's Fig. 3.2 analysis of dataset noise.  With ``workers > 1``
+    the pairs are accumulated on a process pool (bit-identical merge)."""
+    pairs: list[tuple[str, str]] = []
     for cluster in pool:
         cluster_copies = cluster.copies
         if max_copies_per_cluster is not None:
             cluster_copies = cluster_copies[:max_copies_per_cluster]
         for copy in cluster_copies:
-            references.append(cluster.reference)
-            copies.append(copy)
-    return (
-        hamming_error_curve(references, copies),
-        gestalt_error_curve(references, copies),
+            pairs.append((cluster.reference, copy))
+    reference_length = max(
+        (len(cluster.reference) for cluster in pool if cluster.copies), default=0
     )
+    return _paired_curves(pairs, workers, chunk_size, reference_length)
 
 
 def post_reconstruction_curves(
-    pool: StrandPool, estimates: Sequence[str]
+    pool: StrandPool,
+    estimates: Sequence[str],
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> tuple[list[int], list[int]]:
     """(Hamming, gestalt) curves of reconstruction estimates against
-    references — the paper's Fig. 3.4/3.5/3.7/3.10 analyses."""
+    references — the paper's Fig. 3.4/3.5/3.7/3.10 analyses.  With
+    ``workers > 1`` the pairs are accumulated on a process pool
+    (bit-identical merge)."""
     references = pool.references
-    return (
-        hamming_error_curve(references, estimates),
-        gestalt_error_curve(references, estimates),
-    )
+    if len(references) != len(estimates):
+        raise ValueError(
+            f"{len(references)} references but {len(estimates)} estimates"
+        )
+    pairs = list(zip(references, estimates))
+    reference_length = max((len(reference) for reference in references), default=0)
+    return _paired_curves(pairs, workers, chunk_size, reference_length)
 
 
 def curve_summary(curve: Sequence[int], bins: int = 11) -> list[int]:
@@ -111,8 +176,13 @@ def curve_summary(curve: Sequence[int], bins: int = 11) -> list[int]:
         raise ValueError(f"bins must be >= 1, got {bins}")
     if not curve:
         return [0] * bins
+    # A curve shorter than the bin count would otherwise scatter its
+    # positions across non-adjacent bins (a length-2 curve with 11 bins
+    # lands in bins 0 and 5); clamp the effective bin count to the curve
+    # length so short curves fill the leading bins contiguously.
+    effective_bins = min(bins, len(curve))
     summary = [0] * bins
     for position, value in enumerate(curve):
-        bin_index = min(position * bins // len(curve), bins - 1)
+        bin_index = min(position * effective_bins // len(curve), effective_bins - 1)
         summary[bin_index] += value
     return summary

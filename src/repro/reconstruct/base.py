@@ -12,8 +12,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import Counter
 from collections.abc import Sequence
+from functools import partial
 
 from repro.core.strand import Cluster, StrandPool
+from repro.parallel import parallel_map
 
 
 class Reconstructor(ABC):
@@ -36,11 +38,43 @@ class Reconstructor(ABC):
         """Reconstruct from a :class:`Cluster` (ignores its reference)."""
         return self.reconstruct(cluster.copies, strand_length)
 
-    def reconstruct_pool(self, pool: StrandPool, strand_length: int) -> list[str]:
-        """Reconstruct every cluster of a pool, in order."""
-        return [
-            self.reconstruct(cluster.copies, strand_length) for cluster in pool
-        ]
+    def reconstruct_pool(
+        self,
+        pool: StrandPool,
+        strand_length: int,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> list[str]:
+        """Reconstruct every cluster of a pool, in order.
+
+        Reconstruction is deterministic per cluster, so with
+        ``workers > 1`` clusters are distributed over a process pool and
+        the estimates merged back in pool order — bit-identical to the
+        serial pass.  Defined here at the base-class level so every
+        algorithm (BMA, Divider BMA, Iterative, ...) inherits the
+        parallel path.
+
+        Args:
+            pool: the clusters to reconstruct.
+            strand_length: the designed strand length L.
+            workers: worker processes (None -> ``REPRO_WORKERS``/CLI
+                default; 0 -> all cores; <= 1 -> serial).
+            chunk_size: clusters per pool task (default ~4 chunks per
+                worker).
+        """
+        return parallel_map(
+            partial(_reconstruct_copies, self, strand_length),
+            [cluster.copies for cluster in pool],
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+
+
+def _reconstruct_copies(
+    reconstructor: "Reconstructor", strand_length: int, copies: list[str]
+) -> str:
+    """Worker task for the parallel pool pass: reconstruct one cluster."""
+    return reconstructor.reconstruct(copies, strand_length)
 
 
 def majority_symbol(symbols: Sequence[str]) -> str:

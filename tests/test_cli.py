@@ -153,6 +153,13 @@ class TestErrorHandling:
         assert "dnasim: error: [data]" in err
         assert f"{path.name}:2:" in err
 
+    def test_negative_workers_exits_with_config_message(self, capsys):
+        code = main(["--workers", "-3", "experiment", "table_1_1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("dnasim: error: [config]")
+        assert "Traceback" not in err
+
     def test_debug_flag_reraises(self, tmp_path):
         path = tmp_path / "broken.txt"
         path.write_text("ACGT\nACGA\n")

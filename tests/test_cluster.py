@@ -86,6 +86,34 @@ class TestQGramIndex:
         with pytest.raises(ValueError):
             QGramIndex(bands=0)
 
+    def test_empty_reads_never_collide(self):
+        """Regression: empty reads used to sign bucket 0 in every band,
+        colliding with each other and with any read whose min-hash was
+        genuinely 0.  They now carry a sentinel signature and are never
+        bucketed."""
+        from repro.cluster.qgram_index import EMPTY_SIGNATURE
+
+        index = QGramIndex(q=4, bands=3)
+        assert index.signature("") == [EMPTY_SIGNATURE] * 3
+        index.add(0, "")
+        index.add(1, "")
+        index.add(2, "ACGTACGTACGT")
+        assert index.candidates("") == set()
+        assert 0 not in index.candidates("ACGTACGTACGT")
+        assert len(index) == 3  # still counted as added reads
+        # No bucket anywhere contains the empty reads.
+        assert all(
+            0 not in members and 1 not in members
+            for band in index._buckets
+            for members in band.values()
+        )
+        assert list(index.candidate_pairs()) == []
+
+    def test_short_reads_still_indexed(self):
+        index = QGramIndex(q=8, bands=2)
+        index.add(0, "ACG")  # shorter than q: the read is its own gram
+        assert 0 in index.candidates("ACG")
+
 
 class TestGreedyClusterer:
     @pytest.fixture(scope="class")

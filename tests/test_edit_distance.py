@@ -142,3 +142,19 @@ class TestMatrices:
         matrix = edit_distance_matrix("ACGT" * 20, "ACGA" * 20)
         assert isinstance(matrix, np.ndarray)
         assert matrix[-1][-1] == edit_distance("ACGT" * 20, "ACGA" * 20)
+
+    @given(dna, dna)
+    def test_return_type_is_uniform_across_paths(self, first, second):
+        """Both the small pure-Python path and the large vectorised path
+        must return the same type: callers previously saw ``list`` below
+        the 1024-cell threshold and ``np.ndarray`` above it, diverging on
+        mutation/``len``/equality semantics."""
+        matrix = edit_distance_matrix(first, second)
+        assert isinstance(matrix, np.ndarray)
+        assert matrix.dtype == np.int32
+        assert matrix.shape == (len(first) + 1, len(second) + 1)
+
+    def test_small_path_matches_fast_path(self):
+        small = edit_distance_matrix("ACGT", "AGT")  # 12 cells: small path
+        fast = edit_distance_matrix_fast("ACGT", "AGT")
+        assert np.array_equal(small, fast)

@@ -109,6 +109,25 @@ class TestCurves:
     def test_curve_summary_empty(self):
         assert curve_summary([], bins=3) == [0, 0, 0]
 
+    def test_curve_summary_short_curve_fills_leading_bins(self):
+        """Regression: a curve shorter than the bin count used to scatter
+        positions into non-adjacent bins (a length-2 curve with 11 bins
+        filled bins 0 and 5); short curves now fill the leading bins
+        contiguously and pad the rest with zeros."""
+        assert curve_summary([3, 9], bins=11) == [3, 9] + [0] * 9
+
+    def test_curve_summary_short_curves_preserve_mass_and_order(self):
+        for length in range(1, 11):
+            curve = list(range(1, length + 1))
+            summary = curve_summary(curve, bins=11)
+            assert summary[:length] == curve
+            assert summary[length:] == [0] * (11 - length)
+            assert sum(summary) == sum(curve)
+
+    def test_curve_summary_equal_length_is_identity(self):
+        curve = [5, 0, 2, 7]
+        assert curve_summary(curve, bins=4) == curve
+
     def test_curve_summary_invalid_bins(self):
         with pytest.raises(ValueError):
             curve_summary([1], bins=0)

@@ -1,0 +1,358 @@
+"""Tests for the parallel execution engine and the context caches.
+
+The load-bearing property throughout: for the RNG-free stages (profile
+fitting, reconstruction, curve accumulation) and for the per-cluster-
+seeded simulator, results must be **bit-identical** at every worker
+count.  ``REPRO_FORCE_PARALLEL`` is set where the real process pool must
+run even on single-core test runners (the serial fallback would
+otherwise hide pickling and merge bugs).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+import pytest
+
+from repro import parallel
+from repro.core.coverage import ConstantCoverage, NegativeBinomialCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile
+from repro.core.simulator import Simulator
+from repro.data.nanopore import make_nanopore_dataset
+from repro.experiments import cache as context_cache
+from repro.metrics.curves import (
+    merge_curves,
+    post_reconstruction_curves,
+    pre_reconstruction_curves,
+)
+from repro.parallel import (
+    chunk_items,
+    default_chunk_size,
+    derive_seed,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.iterative import IterativeReconstruction
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Force the process pool so single-core runners still exercise it."""
+    monkeypatch.setenv(parallel.FORCE_ENV, "1")
+
+
+@pytest.fixture
+def profiling_pool():
+    return make_nanopore_dataset(n_clusters=25, seed=2)
+
+
+class TestParallelMap:
+    def test_serial_fallback_matches_comprehension(self):
+        assert parallel_map(_square, list(range(20)), workers=1) == [
+            value * value for value in range(20)
+        ]
+
+    def test_pool_preserves_order(self, force_pool):
+        items = list(range(37))
+        assert parallel_map(_square, items, workers=2) == [
+            value * value for value in items
+        ]
+
+    def test_pool_with_explicit_chunk_size(self, force_pool):
+        items = list(range(11))
+        assert parallel_map(_square, items, workers=2, chunk_size=3) == [
+            value * value for value in items
+        ]
+
+    def test_empty_items(self, force_pool):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_partial_functions_are_picklable(self, force_pool):
+        fn = partial(pow, 2)
+        assert parallel_map(fn, [1, 2, 3, 4], workers=2) == [2, 4, 8, 16]
+
+    def test_worker_exception_propagates(self, force_pool):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(partial(divmod, 1), [1, 0], workers=2)
+
+
+class TestWorkerResolution:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        assert parallel.default_workers() == 3
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "0")
+        assert parallel.default_workers() == (os.cpu_count() or 1)
+
+    def test_env_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "many")
+        assert parallel.default_workers() == 1
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        set_default_workers(5)
+        try:
+            assert parallel.default_workers() == 5
+            assert resolve_workers(None) == 5
+        finally:
+            set_default_workers(None)
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_workers(-1)
+
+    def test_explicit_argument_wins(self):
+        assert resolve_workers(7) == 7
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+class TestChunking:
+    def test_chunks_restore_order(self):
+        items = list(range(23))
+        chunks = chunk_items(items, workers=4)
+        assert [item for chunk in chunks for item in chunk] == items
+
+    def test_default_chunk_size_targets_four_per_worker(self):
+        assert default_chunk_size(80, 4) == 5
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 2) == 1
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_items([1, 2], workers=1, chunk_size=0)
+
+
+class TestDeriveSeed:
+    def test_stable_and_distinct(self):
+        assert derive_seed(17, 3) == derive_seed(17, 3)
+        seeds = {derive_seed(17, index) for index in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_base_seed_separates_streams(self):
+        assert derive_seed(17, 0) != derive_seed(18, 0)
+
+
+class TestStageEquivalence:
+    """Parallel output must be bit-identical to serial for RNG-free stages."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_profile_fit(self, profiling_pool, force_pool, workers):
+        serial = ErrorProfile.from_pool(profiling_pool, max_copies_per_cluster=4)
+        parallel_fit = ErrorProfile.from_pool(
+            profiling_pool, max_copies_per_cluster=4, workers=workers
+        )
+        assert parallel_fit.statistics == serial.statistics
+
+    def test_profile_fit_with_rng_stays_serial(self, profiling_pool):
+        import random
+
+        profile = ErrorProfile.from_pool(
+            profiling_pool, max_copies_per_cluster=2,
+            rng=random.Random(5), workers=4,
+        )
+        assert profile.statistics.pair_count > 0
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize(
+        "reconstructor", [BMALookahead(), IterativeReconstruction()],
+        ids=lambda r: r.name,
+    )
+    def test_reconstruction(self, profiling_pool, force_pool, workers, reconstructor):
+        serial = [
+            reconstructor.reconstruct(cluster.copies, 110)
+            for cluster in profiling_pool
+        ]
+        parallel_estimates = reconstructor.reconstruct_pool(
+            profiling_pool, 110, workers=workers
+        )
+        assert parallel_estimates == serial
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pre_reconstruction_curves(self, profiling_pool, force_pool, workers):
+        serial = pre_reconstruction_curves(profiling_pool, max_copies_per_cluster=3)
+        result = pre_reconstruction_curves(
+            profiling_pool, max_copies_per_cluster=3, workers=workers
+        )
+        assert result == serial
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_post_reconstruction_curves(self, profiling_pool, force_pool, workers):
+        estimates = BMALookahead().reconstruct_pool(profiling_pool, 110, workers=1)
+        serial = post_reconstruction_curves(profiling_pool, estimates)
+        result = post_reconstruction_curves(
+            profiling_pool, estimates, workers=workers
+        )
+        assert result == serial
+
+    def test_post_curves_length_mismatch(self, profiling_pool):
+        with pytest.raises(ValueError):
+            post_reconstruction_curves(profiling_pool, ["A"])
+
+
+class TestMergeCurves:
+    def test_pads_shorter_curves(self):
+        assert merge_curves([[1, 2, 3], [4], [0, 5]]) == [5, 7, 3]
+
+    def test_empty(self):
+        assert merge_curves([]) == []
+
+
+class TestSeededSimulator:
+    def _simulator(self, coverage):
+        return Simulator(
+            ErrorModel.uniform(0.05), coverage, seed=11, per_cluster_seeds=True
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_deterministic_at_any_worker_count(self, force_pool, workers):
+        references = make_nanopore_dataset(n_clusters=12, seed=4).references
+        baseline = self._simulator(ConstantCoverage(4)).simulate(
+            references, workers=1
+        )
+        pool = self._simulator(ConstantCoverage(4)).simulate(
+            references, workers=workers
+        )
+        assert [cluster.copies for cluster in pool] == [
+            cluster.copies for cluster in baseline
+        ]
+        assert pool.references == references
+
+    def test_random_coverage_model_is_deterministic(self, force_pool):
+        references = make_nanopore_dataset(n_clusters=10, seed=4).references
+        coverage = NegativeBinomialCoverage(6.0, 4.0)
+        first = self._simulator(coverage).simulate(references, workers=2)
+        second = self._simulator(coverage).simulate(references, workers=4)
+        assert [cluster.copies for cluster in first] == [
+            cluster.copies for cluster in second
+        ]
+
+    def test_simulate_like_matches_coverages(self, force_pool, profiling_pool):
+        pool = self._simulator(ConstantCoverage(1)).simulate_like(
+            profiling_pool, workers=2
+        )
+        assert pool.coverages() == profiling_pool.coverages()
+
+    def test_per_cluster_seeds_requires_seed(self):
+        with pytest.raises(ValueError):
+            Simulator(ErrorModel.uniform(0.05), per_cluster_seeds=True)
+
+    def test_default_path_keeps_serial_stream(self):
+        """Without the opt-in, simulate() must reproduce the historical
+        single-stream draw order exactly (PR 1's RNG contract)."""
+        references = make_nanopore_dataset(n_clusters=5, seed=4).references
+        one = Simulator(ErrorModel.uniform(0.05), ConstantCoverage(3), seed=9)
+        two = Simulator(ErrorModel.uniform(0.05), ConstantCoverage(3), seed=9)
+        serial = one.channel.transmit_pool(references, one.coverage)
+        via_simulate = two.simulate(references, workers=4)
+        assert [cluster.copies for cluster in via_simulate] == [
+            cluster.copies for cluster in serial
+        ]
+
+
+class TestContextDiskCache:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(context_cache.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(context_cache.CACHE_ENABLED_ENV, raising=False)
+        from repro.experiments import common
+
+        common.clear_contexts()
+        yield
+        common.clear_contexts()
+
+    def test_second_build_hits_cache(self, monkeypatch):
+        from repro.experiments import common
+
+        first = common.ExperimentContext(12)
+        assert context_cache.context_cache_path(
+            12, common.DATASET_SEED, common.PROFILE_COPIES
+        ).exists()
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("dataset regenerated despite cache hit")
+
+        monkeypatch.setattr(common, "make_nanopore_dataset", explode)
+        second = common.ExperimentContext(12)
+        assert second.real_pool.total_copies == first.real_pool.total_copies
+        assert second.profile.statistics == first.profile.statistics
+
+    def test_corrupt_entry_regenerates(self):
+        from repro.experiments import common
+
+        path = context_cache.context_cache_path(
+            11, common.DATASET_SEED, common.PROFILE_COPIES
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        context = common.ExperimentContext(11)
+        assert len(context.real_pool) == 11
+        # The corrupt file was replaced by a fresh entry.
+        assert context_cache.load_context_artifacts(
+            11, common.DATASET_SEED, common.PROFILE_COPIES
+        ) is not None
+
+    def test_disabled_cache_writes_nothing(self, monkeypatch, tmp_path):
+        from repro.experiments import common
+
+        monkeypatch.setenv(context_cache.CACHE_ENABLED_ENV, "off")
+        common.ExperimentContext(10)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clear_cache(self):
+        from repro.experiments import common
+
+        common.ExperimentContext(10)
+        assert context_cache.clear_cache() == 1
+        assert context_cache.load_context_artifacts(
+            10, common.DATASET_SEED, common.PROFILE_COPIES
+        ) is None
+
+
+class TestContextLRU:
+    @pytest.fixture(autouse=True)
+    def isolated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(context_cache.CACHE_DIR_ENV, str(tmp_path))
+        from repro.experiments import common
+
+        common.clear_contexts()
+        yield
+        common.clear_contexts()
+
+    def test_keeps_most_recent_two(self):
+        from repro.experiments import common
+
+        first = common.get_context(8)
+        second = common.get_context(9)
+        third = common.get_context(10)
+        assert list(common._CONTEXTS) == [9, 10]
+        assert common.get_context(9) is second
+        assert common.get_context(10) is third
+        # Scale 8 was evicted; a fresh request rebuilds (from disk cache).
+        assert common.get_context(8) is not first
+
+    def test_reuse_refreshes_recency(self):
+        from repro.experiments import common
+
+        common.get_context(8)
+        common.get_context(9)
+        common.get_context(8)  # 8 becomes most recent
+        common.get_context(10)  # evicts 9, not 8
+        assert list(common._CONTEXTS) == [8, 10]
+
+    def test_clear_contexts(self):
+        from repro.experiments import common
+
+        common.get_context(8)
+        common.clear_contexts()
+        assert len(common._CONTEXTS) == 0
