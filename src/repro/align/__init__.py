@@ -1,5 +1,7 @@
 """Alignment substrate: edit distance, maximum-likelihood edit operations
-(Algorithm 2), gestalt pattern matching, and Hamming comparisons."""
+(Algorithm 2), gestalt pattern matching, and Hamming comparisons — all
+running on the pluggable bit-parallel/numpy/python kernel backends of
+:mod:`repro.align.kernels`."""
 
 from repro.align.edit_distance import (
     edit_distance,
@@ -13,6 +15,14 @@ from repro.align.gestalt import (
     gestalt_error_positions,
     gestalt_score,
     matching_blocks,
+)
+from repro.align.kernels import (
+    ALIGN_BACKEND_ENV,
+    BACKENDS,
+    CompiledPattern,
+    align_backend,
+    edit_distances_one_to_many,
+    set_align_backend,
 )
 from repro.align.hamming import (
     hamming_distance,
@@ -29,17 +39,23 @@ from repro.align.operations import (
 )
 
 __all__ = [
+    "ALIGN_BACKEND_ENV",
+    "BACKENDS",
+    "CompiledPattern",
     "EditOp",
     "MatchingBlock",
     "OpKind",
+    "align_backend",
     "aligned_segments",
     "apply_operations",
     "deletion_runs",
     "edit_distance",
     "edit_distance_banded",
     "edit_distance_matrix",
+    "edit_distances_one_to_many",
     "edit_operations",
     "error_operations",
+    "set_align_backend",
     "gestalt_error_positions",
     "gestalt_score",
     "hamming_distance",

@@ -6,38 +6,34 @@ edit-distance similarity, Section 1.1.2), reconstruction-quality metrics
 extraction of error sequences from reference/copy pairs (Appendix B,
 implemented in :mod:`repro.align.operations`).
 
-The implementation is a standard dynamic program, written iteratively with
-two rolling rows for the distance-only path and a full matrix when a
-backtrace is needed.
+Distance-only queries dispatch to the pluggable kernels of
+:mod:`repro.align.kernels` (Myers bit-parallel by default, with numpy and
+pure-Python reference backends selectable via ``REPRO_ALIGN_BACKEND`` /
+``--align-backend``); the full matrix used by the backtrace in
+:mod:`repro.align.operations` stays here.  Every backend is bit-identical,
+so callers never observe which one ran.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.align import kernels
+
 
 def edit_distance(first: str, second: str) -> int:
     """Levenshtein distance between two strings (unit costs).
 
-    Runs in O(len(first) * len(second)) time and O(min(len)) space.
+    O(max(len)/64 * min(len)) word-time on the default bit-parallel
+    backend; O(len(first) * len(second)) on the reference backend.
     """
     if first == second:
         return 0
-    # Keep the shorter string as the row to minimise memory.
-    if len(second) < len(first):
-        first, second = second, first
-    previous = list(range(len(first) + 1))
-    for row_index, second_char in enumerate(second, start=1):
-        current = [row_index] + [0] * len(first)
-        for column_index, first_char in enumerate(first, start=1):
-            substitution_cost = 0 if first_char == second_char else 1
-            current[column_index] = min(
-                previous[column_index] + 1,  # deletion from `second`
-                current[column_index - 1] + 1,  # insertion into `second`
-                previous[column_index - 1] + substitution_cost,
-            )
-        previous = current
-    return previous[len(first)]
+    if not first or not second:
+        # One side empty: the length-difference lower bound is achieved
+        # exactly (pure insertions/deletions), no DP needed.
+        return abs(len(first) - len(second))
+    return kernels.edit_distance_kernel(first, second)
 
 
 def edit_distance_banded(first: str, second: str, band: int) -> int:
@@ -45,33 +41,17 @@ def edit_distance_banded(first: str, second: str, band: int) -> int:
 
     If the true distance exceeds ``band`` the result is a lower bound of
     ``band + 1`` ("at least this far apart"), which is all clustering needs
-    to reject a pair quickly.  Runs in O(band * max(len)) time.
+    to reject a pair quickly.  The length-difference lower bound
+    short-circuits before any kernel runs; the bit-parallel backend
+    early-exits the moment the band is provably exceeded.
     """
     if band < 0:
         raise ValueError(f"band must be non-negative, got {band}")
     if abs(len(first) - len(second)) > band:
         return band + 1
-    infinity = band + 1
-    columns = len(first) + 1
-    previous = [infinity] * columns
-    for column in range(min(band, len(first)) + 1):
-        previous[column] = column
-    for row_index in range(1, len(second) + 1):
-        current = [infinity] * columns
-        low = max(0, row_index - band)
-        high = min(len(first), row_index + band)
-        if low == 0:
-            current[0] = row_index if row_index <= band else infinity
-        for column in range(max(1, low), high + 1):
-            substitution_cost = 0 if first[column - 1] == second[row_index - 1] else 1
-            best = previous[column - 1] + substitution_cost
-            if previous[column] + 1 < best:
-                best = previous[column] + 1
-            if current[column - 1] + 1 < best:
-                best = current[column - 1] + 1
-            current[column] = min(best, infinity)
-        previous = current
-    return min(previous[len(first)], infinity)
+    if first == second:
+        return 0
+    return kernels.banded_distance_kernel(first, second, band)
 
 
 def normalized_edit_distance(first: str, second: str) -> float:

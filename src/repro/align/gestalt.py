@@ -17,6 +17,16 @@ misalignment rather than their downstream propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.align import kernels
+
+#: Distinct string pairs whose block decomposition is memoised.  The
+#: error-curve experiments ask for ``gestalt_score``,
+#: ``gestalt_error_positions`` and ``aligned_segments`` on the *same*
+#: (reference, copy) pair back to back; a small LRU makes the expensive
+#: decomposition run once per pair instead of once per query.
+_BLOCK_CACHE_PAIRS = 128
 
 
 @dataclass(frozen=True)
@@ -39,37 +49,45 @@ def _longest_common_substring(
     """Longest common substring of ``first[first_low:first_high]`` and
     ``second[second_low:second_high]``.
 
-    Classic O(n*m) dynamic program over suffix-match lengths, kept to two
-    rolling rows.  Ties are broken toward the earliest position in
-    ``first`` then ``second`` (the conventional, deterministic choice).
+    Dispatches to the backend-selected kernel (numpy-vectorised rows for
+    large regions by default, the classic two-rolling-row dynamic program
+    otherwise — see :mod:`repro.align.kernels`).  Ties are broken toward
+    the earliest position in ``first`` then ``second`` on every backend
+    (the conventional, deterministic choice).
     """
-    best = MatchingBlock(first_low, second_low, 0)
-    width = second_high - second_low
-    previous = [0] * (width + 1)
-    for first_index in range(first_low, first_high):
-        current = [0] * (width + 1)
-        first_char = first[first_index]
-        for offset in range(width):
-            if first_char == second[second_low + offset]:
-                length = previous[offset] + 1
-                current[offset + 1] = length
-                if length > best.size:
-                    best = MatchingBlock(
-                        first_index - length + 1,
-                        second_low + offset - length + 1,
-                        length,
-                    )
-        previous = current
-    return best
+    first_start, second_start, size = kernels.longest_common_substring(
+        first, second, first_low, first_high, second_low, second_high
+    )
+    return MatchingBlock(first_start, second_start, size)
 
 
 def matching_blocks(first: str, second: str) -> list[MatchingBlock]:
     """All matching blocks, ordered by position.
 
     Recursive Ratcliff-Obershelp: find the LCS, then recurse into the
-    regions to its left and to its right.  The recursion is implemented
-    with an explicit stack so pathological inputs cannot overflow Python's
-    recursion limit.
+    regions to its left and to its right.  Decompositions are memoised on
+    the string pair (see :data:`_BLOCK_CACHE_PAIRS`); the returned list is
+    a fresh copy, safe for callers to mutate.
+    """
+    return list(_matching_blocks_cached(first, second, kernels.lcs_backend()))
+
+
+def clear_block_cache() -> None:
+    """Drop the memoised block decompositions (used by benchmarks to time
+    cold decompositions)."""
+    _matching_blocks_cached.cache_clear()
+
+
+@lru_cache(maxsize=_BLOCK_CACHE_PAIRS)
+def _matching_blocks_cached(
+    first: str, second: str, _backend: str
+) -> tuple[MatchingBlock, ...]:
+    """The actual decomposition, keyed on the pair *and* the resolved LCS
+    backend so backend switches never serve stale entries (all backends
+    agree bit-for-bit, but equivalence tests must exercise each one).
+
+    The recursion is implemented with an explicit stack so pathological
+    inputs cannot overflow Python's recursion limit.
     """
     blocks: list[MatchingBlock] = []
     stack: list[tuple[int, int, int, int]] = [(0, len(first), 0, len(second))]
@@ -93,7 +111,7 @@ def matching_blocks(first: str, second: str) -> list[MatchingBlock]:
             )
         )
     blocks.sort(key=lambda item: (item.first_start, item.second_start))
-    return blocks
+    return tuple(blocks)
 
 
 def gestalt_score(first: str, second: str) -> float:

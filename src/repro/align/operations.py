@@ -88,6 +88,24 @@ def edit_operations(
     operations left to right reproduces ``copy`` exactly (verified by the
     test suite's round-trip property).
     """
+    # Distance pre-checks: when the distance is trivially 0 (equal
+    # strings) or trivially len(other) (one side empty) the operation
+    # sequence is forced — every backtrace candidate set is a singleton,
+    # so tie-breaking (random or deterministic) cannot diverge — and the
+    # O(n*m) matrix is skipped entirely.  Identical copies are the common
+    # case when profiling low-noise pools.
+    if reference == copy:
+        return [
+            EditOp(OpKind.EQUAL, position, base, base)
+            for position, base in enumerate(reference)
+        ]
+    if not copy:
+        return [
+            EditOp(OpKind.DELETION, position, base, "")
+            for position, base in enumerate(reference)
+        ]
+    if not reference:
+        return [EditOp(OpKind.INSERTION, 0, "", base) for base in copy]
     # Always an int32 ndarray (both matrix code paths return one), so the
     # backtrace comparisons below see uniform integer semantics.
     matrix = edit_distance_matrix(reference, copy)

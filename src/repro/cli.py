@@ -25,6 +25,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.align.kernels import BACKENDS, set_align_backend
 from repro.core.coverage import ConstantCoverage
 from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.parallel import set_default_workers
@@ -225,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         "reconstruction, curves; 0 = all cores; overrides REPRO_WORKERS; "
         "default: serial)",
     )
+    parser.add_argument(
+        "--align-backend",
+        default=None,
+        metavar="NAME",
+        help="alignment kernel backend for edit-distance/gestalt hot "
+        f"paths ({'|'.join(BACKENDS)}; all bit-identical; overrides "
+        "REPRO_ALIGN_BACKEND; default: auto)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     dataset = commands.add_parser(
@@ -333,6 +342,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 set_default_workers(args.workers)
             except ValueError as error:
                 raise ConfigError(str(error)) from error
+        if args.align_backend is not None:
+            # Raises ConfigError (one-line [config] message) for unknown
+            # backend names, matching the --workers behaviour.
+            set_align_backend(args.align_backend)
         return args.handler(args)
     except (ReproError, OSError) as error:
         if args.debug:

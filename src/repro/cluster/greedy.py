@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.align.edit_distance import edit_distance_banded
+from repro.align.kernels import CompiledPattern
 from repro.cluster.qgram_index import QGramIndex
 
 
@@ -91,10 +91,14 @@ class GreedyClusterer:
             candidate_clusters = {
                 assignments[candidate] for candidate in index.candidates(read)
             }
+            # Compile the read once: its bit-parallel pattern masks are
+            # reused across every candidate representative (the sweep's
+            # hot path — one banded comparison per candidate cluster).
+            pattern = CompiledPattern(read)
             for cluster_index in candidate_clusters:
                 comparisons += 1
-                distance = edit_distance_banded(
-                    representatives[cluster_index], read, self.distance_threshold
+                distance = pattern.banded_distance(
+                    representatives[cluster_index], self.distance_threshold
                 )
                 if distance < best_distance:
                     best_distance = distance
@@ -138,15 +142,14 @@ class GreedyClusterer:
         representative_index = QGramIndex(q=self.q, bands=self.bands)
         comparisons = 0
         for cluster_index, representative in enumerate(representatives):
+            pattern = CompiledPattern(representative)
             for candidate in representative_index.candidates(representative):
                 root_a, root_b = find(cluster_index), find(candidate)
                 if root_a == root_b:
                     continue
                 comparisons += 1
-                distance = edit_distance_banded(
-                    representatives[cluster_index],
-                    representatives[candidate],
-                    self.distance_threshold,
+                distance = pattern.banded_distance(
+                    representatives[candidate], self.distance_threshold
                 )
                 if distance <= self.distance_threshold:
                     parent[root_a] = root_b

@@ -17,6 +17,14 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterator, Sequence
 
+import numpy as np
+
+from repro.align import kernels
+
+#: FNV-1a 32-bit parameters (shared by the scalar and vectorised paths).
+_FNV_OFFSET = 2166136261
+_FNV_PRIME = 16777619
+
 
 def qgrams(sequence: str, q: int) -> set[str]:
     """The set of q-grams (length-q substrings) of ``sequence``.
@@ -46,11 +54,38 @@ def _stable_hash(text: str, seed: int) -> int:
     Python's built-in ``hash`` is randomised per process, which would make
     clustering non-reproducible across runs.
     """
-    value = (2166136261 ^ (seed * 16777619)) & 0xFFFFFFFF
+    value = (_FNV_OFFSET ^ (seed * _FNV_PRIME)) & 0xFFFFFFFF
     for char in text:
         value ^= ord(char)
-        value = (value * 16777619) & 0xFFFFFFFF
+        value = (value * _FNV_PRIME) & 0xFFFFFFFF
     return value
+
+
+def _vectorised_min_hashes(sequence: str, q: int, bands: int) -> list[int]:
+    """All ``bands`` min-hash values in one vectorised pass.
+
+    Runs the same FNV-1a recurrence as :func:`_stable_hash`, but over a
+    ``(bands, n_grams)`` uint32 array — one XOR and one wrapping multiply
+    per gram character position — instead of per-gram Python loops.
+    Duplicate grams are left in place: the minimum over a multiset equals
+    the minimum over its set, so deduplication is pure overhead here.
+    Bit-identical to ``min(_stable_hash(gram, band) for gram in grams)``
+    for every band (uint32 multiplication wraps exactly like the scalar
+    path's ``& 0xFFFFFFFF``).
+    """
+    codes = np.frombuffer(sequence.encode("utf-32-le"), dtype=np.uint32)
+    if len(codes) < q:
+        windows = codes.reshape(1, -1)
+    else:
+        windows = np.lib.stride_tricks.sliding_window_view(codes, q)
+    values = np.empty((bands, windows.shape[0]), dtype=np.uint32)
+    for band in range(bands):
+        values[band] = (_FNV_OFFSET ^ (band * _FNV_PRIME)) & 0xFFFFFFFF
+    prime = np.uint32(_FNV_PRIME)
+    for position in range(windows.shape[1]):
+        values ^= windows[:, position]
+        values *= prime
+    return [int(value) for value in values.min(axis=1)]
 
 
 class QGramIndex:
@@ -82,9 +117,11 @@ class QGramIndex:
         reads contribute themselves as a gram) signs
         :data:`EMPTY_SIGNATURE` in every band.
         """
-        grams = qgrams(sequence, self.q)
-        if not grams:
+        if not sequence:
             return [EMPTY_SIGNATURE] * self.bands
+        if kernels.align_backend() != "python":
+            return _vectorised_min_hashes(sequence, self.q, self.bands)
+        grams = qgrams(sequence, self.q)
         return [
             min(_stable_hash(gram, band) for gram in grams)
             for band in range(self.bands)

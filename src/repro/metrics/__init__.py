@@ -4,6 +4,7 @@ and distributional distances (Section 3.1)."""
 from repro.metrics.accuracy import (
     AccuracyReport,
     evaluate_reconstruction,
+    mean_reconstruction_edit_distance,
     per_character_accuracy,
     per_strand_accuracy,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "mean_gestalt_score",
     "mean_normalized_edit_distance",
     "mean_normalized_hamming_distance",
+    "mean_reconstruction_edit_distance",
     "per_character_accuracy",
     "per_strand_accuracy",
     "positional_profile_distance",

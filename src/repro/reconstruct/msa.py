@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 
-from repro.align.edit_distance import edit_distance
+from repro.align.kernels import edit_distances_one_to_many
 from repro.align.operations import OpKind, edit_operations
 from repro.reconstruct.base import Reconstructor
 
@@ -85,7 +85,9 @@ class StarMSAConsensus(Reconstructor):
         best_copy = candidates[0]
         best_score = None
         for candidate in candidates:
-            score = sum(edit_distance(candidate, copy) for copy in copies)
+            # One-vs-many kernel: each candidate centre's pattern masks
+            # are built once and swept over the whole cluster.
+            score = sum(edit_distances_one_to_many(candidate, copies))
             if best_score is None or score < best_score:
                 best_score = score
                 best_copy = candidate

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.align.edit_distance import edit_distance
+from repro.align.kernels import edit_distances_one_to_many
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.iterative import IterativeReconstruction
 
@@ -66,5 +66,6 @@ class TwoWayIterative(Reconstructor):
 
     @staticmethod
     def _score(candidate: str, copies: Sequence[str]) -> int:
-        """Total edit distance from the candidate to every copy."""
-        return sum(edit_distance(candidate, copy) for copy in copies)
+        """Total edit distance from the candidate to every copy (one-vs-
+        many kernel: the candidate's pattern masks are reused per copy)."""
+        return sum(edit_distances_one_to_many(candidate, copies))

@@ -1,0 +1,369 @@
+"""Equivalence and dispatch tests for the alignment kernel layer.
+
+The contract under test: **every** backend of :mod:`repro.align.kernels`
+returns bit-identical results to the pure-Python reference DPs — exact
+distances, banded lower bounds, gestalt matching blocks, and clustering
+assignments — over a seeded randomized corpus that covers empty strings,
+equal strings, band 0, IDS-noised length-110 pairs, and 64-bit
+word-boundary lengths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.align import kernels
+from repro.align.edit_distance import edit_distance, edit_distance_banded
+from repro.align.gestalt import clear_block_cache, matching_blocks
+from repro.align.kernels import (
+    CompiledPattern,
+    edit_distances_one_to_many,
+    set_align_backend,
+)
+from repro.align.operations import OpKind, apply_operations, edit_operations
+from repro.cli import main
+from repro.cluster.greedy import GreedyClusterer
+from repro.cluster.qgram_index import QGramIndex
+from repro.exceptions import ConfigError
+
+#: The concrete backends (auto is an alias resolving to bitparallel/numpy).
+CONCRETE_BACKENDS = ("python", "numpy", "bitparallel")
+
+BANDS = (0, 1, 3, 25)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process on the default (auto) backend."""
+    yield
+    set_align_backend(None)
+
+
+def _strand(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+def _ids_noised(rng: random.Random, reference: str, rate: float = 0.06) -> str:
+    """Insertion/deletion/substitution noise at the paper's error scale."""
+    out: list[str] = []
+    for base in reference:
+        draw = rng.random()
+        if draw < rate / 3:
+            continue  # deletion
+        if draw < 2 * rate / 3:
+            out.append(rng.choice("ACGT"))  # substitution
+            continue
+        out.append(base)
+        if draw < rate:
+            out.append(rng.choice("ACGT"))  # insertion
+    return "".join(out)
+
+
+def _pair_corpus() -> list[tuple[str, str]]:
+    """~500 seeded pairs spanning the tricky regions of the input space."""
+    rng = random.Random(20260805)
+    pairs: list[tuple[str, str]] = [
+        ("", ""),
+        ("", "ACGT"),
+        ("ACGT", ""),
+        ("A", "A"),
+        ("A", "C"),
+        ("AC", "CA"),
+    ]
+    # Equal strings at assorted lengths (distance 0, band 0 exercised).
+    for length in (1, 7, 63, 64, 65, 110, 200):
+        strand = _strand(rng, length)
+        pairs.append((strand, strand))
+    # 64-bit word-boundary lengths: the bit-parallel kernel must be
+    # seamless across the one-word/multi-word transition.
+    for length in (63, 64, 65, 127, 128, 129):
+        for _ in range(8):
+            other = rng.randint(max(0, length - 6), length + 6)
+            pairs.append((_strand(rng, length), _strand(rng, other)))
+    # Assorted short random pairs (including many length-0/1 edge cases).
+    for _ in range(300):
+        pairs.append(
+            (
+                _strand(rng, rng.randint(0, 40)),
+                _strand(rng, rng.randint(0, 40)),
+            )
+        )
+    # The paper's shape: length-110 references with IDS noise.
+    for _ in range(120):
+        reference = _strand(rng, 110)
+        pairs.append((reference, _ids_noised(rng, reference)))
+    # A few long pairs (multi-word patterns, large matrices).
+    for _ in range(3):
+        reference = _strand(rng, 1000)
+        pairs.append((reference, _ids_noised(rng, reference)))
+    return pairs
+
+
+PAIRS = _pair_corpus()
+
+
+@pytest.fixture(scope="module")
+def reference_distances() -> list[int]:
+    """Ground-truth distances from the seed's pure-Python DP."""
+    return [kernels._python_distance(first, second) for first, second in PAIRS]
+
+
+class TestDistanceEquivalence:
+    def test_corpus_is_large_and_varied(self):
+        assert len(PAIRS) >= 450
+        assert any(not first for first, _ in PAIRS)
+        assert any(first == second and first for first, second in PAIRS)
+        assert any(len(first) > 64 for first, _ in PAIRS)
+
+    @pytest.mark.parametrize("backend", CONCRETE_BACKENDS + ("auto",))
+    def test_edit_distance_matches_reference(self, backend, reference_distances):
+        set_align_backend(backend)
+        for (first, second), expected in zip(PAIRS, reference_distances):
+            assert edit_distance(first, second) == expected, (first, second)
+
+    @pytest.mark.parametrize("backend", CONCRETE_BACKENDS)
+    def test_banded_matches_reference_bound(self, backend, reference_distances):
+        """Banded result is exactly min(true distance, band + 1): the true
+        distance when within the band, the lower bound band + 1 the moment
+        the band is provably exceeded."""
+        set_align_backend(backend)
+        for (first, second), exact in zip(PAIRS, reference_distances):
+            for band in BANDS:
+                assert edit_distance_banded(first, second, band) == min(
+                    exact, band + 1
+                ), (first, second, band)
+
+    @pytest.mark.parametrize("backend", CONCRETE_BACKENDS)
+    def test_one_to_many_matches_pairwise(self, backend):
+        rng = random.Random(7)
+        reference = _strand(rng, 110)
+        reads = [_ids_noised(rng, reference) for _ in range(15)]
+        reads += ["", reference, _strand(rng, 40)]
+        set_align_backend(backend)
+        assert edit_distances_one_to_many(reference, reads) == [
+            edit_distance(reference, read) for read in reads
+        ]
+        assert edit_distances_one_to_many(reference, reads, band=10) == [
+            edit_distance_banded(reference, read, 10) for read in reads
+        ]
+
+    @pytest.mark.parametrize("backend", CONCRETE_BACKENDS)
+    def test_compiled_pattern_matches_functions(self, backend):
+        set_align_backend(backend)
+        rng = random.Random(11)
+        pattern = CompiledPattern(_strand(rng, 80))
+        for _ in range(25):
+            other = _strand(rng, rng.randint(0, 120))
+            assert pattern.distance(other) == edit_distance(pattern.text, other)
+            for band in (0, 5, 25):
+                assert pattern.banded_distance(other, band) == (
+                    edit_distance_banded(pattern.text, other, band)
+                )
+
+
+class TestGestaltEquivalence:
+    @pytest.mark.parametrize("backend", ("numpy", "bitparallel", "auto"))
+    def test_matching_blocks_match_python_reference(self, backend):
+        set_align_backend("python")
+        expected = [matching_blocks(first, second) for first, second in PAIRS[:200]]
+        set_align_backend(backend)
+        for (first, second), blocks in zip(PAIRS[:200], expected):
+            assert matching_blocks(first, second) == blocks, (first, second)
+
+    def test_long_pair_blocks_match(self):
+        first, second = PAIRS[-1]
+        set_align_backend("python")
+        expected = matching_blocks(first, second)
+        set_align_backend("numpy")
+        assert matching_blocks(first, second) == expected
+
+
+class TestClusteringIdentity:
+    @pytest.fixture(scope="class")
+    def reads(self) -> list[str]:
+        rng = random.Random(5)
+        references = [_strand(rng, 110) for _ in range(25)]
+        reads = [
+            _ids_noised(rng, reference)
+            for reference in references
+            for _ in range(6)
+        ]
+        rng.shuffle(reads)
+        return reads
+
+    def test_assignments_identical_across_backends(self, reads):
+        results = {}
+        for backend in CONCRETE_BACKENDS:
+            set_align_backend(backend)
+            results[backend] = GreedyClusterer().cluster(reads)
+        baseline = results["python"]
+        for backend, result in results.items():
+            assert result.assignments == baseline.assignments, backend
+            assert result.representatives == baseline.representatives, backend
+            assert result.comparisons == baseline.comparisons, backend
+
+    def test_qgram_signatures_identical_across_backends(self):
+        rng = random.Random(13)
+        index = QGramIndex(q=8, bands=8)
+        for sequence in ["", "ACG", _strand(rng, 7), _strand(rng, 8), _strand(rng, 110)]:
+            set_align_backend("python")
+            expected = index.signature(sequence)
+            for backend in ("numpy", "bitparallel", "auto"):
+                set_align_backend(backend)
+                assert index.signature(sequence) == expected, (sequence, backend)
+
+
+class TestFastExits:
+    def test_empty_side_returns_length_difference(self):
+        assert edit_distance("", "ACGTACGT") == 8
+        assert edit_distance("ACGT", "") == 4
+        assert edit_distance("", "") == 0
+
+    def test_equal_strings_skip_kernel(self, monkeypatch):
+        def explode(*_args, **_kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("kernel must not run on a fast-exit pair")
+
+        monkeypatch.setattr(kernels, "edit_distance_kernel", explode)
+        assert edit_distance("ACGT", "ACGT") == 0
+        assert edit_distance("", "ACGT") == 4
+
+    def test_operations_equal_strings_all_equal_ops(self):
+        rng = random.Random(0)
+        for use_rng in (None, rng):
+            operations = edit_operations("ACGT", "ACGT", use_rng)
+            assert [op.kind for op in operations] == [OpKind.EQUAL] * 4
+            assert apply_operations("ACGT", operations) == "ACGT"
+
+    def test_operations_empty_copy_all_deletions(self):
+        operations = edit_operations("ACG", "")
+        assert [op.kind for op in operations] == [OpKind.DELETION] * 3
+        assert apply_operations("ACG", operations) == ""
+
+    def test_operations_empty_reference_all_insertions(self):
+        operations = edit_operations("", "ACG")
+        assert [op.kind for op in operations] == [OpKind.INSERTION] * 3
+        assert apply_operations("", operations) == "ACG"
+
+
+class TestMeanReconstructionDistance:
+    def test_mean_over_pairs(self):
+        from repro.metrics import mean_reconstruction_edit_distance
+
+        assert mean_reconstruction_edit_distance(
+            ["ACGT", "AAAA"], ["ACGT", "AATA"]
+        ) == pytest.approx(0.5)
+
+    def test_empty_input_is_zero(self):
+        from repro.metrics import mean_reconstruction_edit_distance
+
+        assert mean_reconstruction_edit_distance([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        from repro.metrics import mean_reconstruction_edit_distance
+
+        with pytest.raises(ValueError, match="1 references but 2"):
+            mean_reconstruction_edit_distance(["A"], ["A", "C"])
+
+    @pytest.mark.parametrize("backend", CONCRETE_BACKENDS)
+    def test_identical_across_backends(self, backend):
+        from repro.metrics import mean_reconstruction_edit_distance
+
+        rng = random.Random(17)
+        references = [_strand(rng, 110) for _ in range(10)]
+        estimates = [_ids_noised(rng, reference) for reference in references]
+        set_align_backend("python")
+        expected = mean_reconstruction_edit_distance(references, estimates)
+        set_align_backend(backend)
+        assert mean_reconstruction_edit_distance(references, estimates) == expected
+
+
+class TestBlockMemoisation:
+    def test_same_pair_computes_blocks_once(self, monkeypatch):
+        clear_block_cache()
+        calls = {"n": 0}
+        real = kernels.longest_common_substring
+
+        def counting(*args):
+            calls["n"] += 1
+            return real(*args)
+
+        monkeypatch.setattr(kernels, "longest_common_substring", counting)
+        first = matching_blocks("WIKIMEDIA", "WIKIMANIA")
+        after_first = calls["n"]
+        assert after_first > 0
+        second = matching_blocks("WIKIMEDIA", "WIKIMANIA")
+        assert calls["n"] == after_first  # served from the LRU
+        assert second == first
+        assert second is not first  # fresh list, safe to mutate
+
+    def test_backend_switch_does_not_serve_stale_entries(self, monkeypatch):
+        clear_block_cache()
+        set_align_backend("python")
+        matching_blocks("WIKIMEDIA", "WIKIMANIA")
+        calls = {"n": 0}
+        real = kernels.longest_common_substring
+
+        def counting(*args):
+            calls["n"] += 1
+            return real(*args)
+
+        monkeypatch.setattr(kernels, "longest_common_substring", counting)
+        set_align_backend("numpy")
+        matching_blocks("WIKIMEDIA", "WIKIMANIA")
+        assert calls["n"] > 0  # recomputed under the new backend key
+
+    def test_clear_block_cache_forces_recompute(self, monkeypatch):
+        matching_blocks("ACGTACGT", "ACGGACGT")
+        clear_block_cache()
+        calls = {"n": 0}
+        real = kernels.longest_common_substring
+
+        def counting(*args):
+            calls["n"] += 1
+            return real(*args)
+
+        monkeypatch.setattr(kernels, "longest_common_substring", counting)
+        matching_blocks("ACGTACGT", "ACGGACGT")
+        assert calls["n"] > 0
+
+
+class TestBackendConfiguration:
+    def test_unknown_backend_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown align backend"):
+            set_align_backend("fortran")
+
+    def test_invalid_env_var_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv(kernels.ALIGN_BACKEND_ENV, "not-a-backend")
+        set_align_backend(None)
+        with pytest.raises(ConfigError, match="not-a-backend"):
+            edit_distance("ACGT", "ACGA")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.ALIGN_BACKEND_ENV, "python")
+        set_align_backend(None)
+        assert kernels.align_backend() == "python"
+
+    def test_override_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(kernels.ALIGN_BACKEND_ENV, "python")
+        set_align_backend("numpy")
+        assert kernels.align_backend() == "numpy"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.ALIGN_BACKEND_ENV, raising=False)
+        set_align_backend(None)
+        assert kernels.align_backend() == "auto"
+        assert kernels.lcs_backend() == "numpy"
+
+    def test_cli_rejects_unknown_backend_with_one_line_error(self, capsys):
+        code = main(["--align-backend", "bogus", "experiment", "table_1_1"])
+        assert code == 2
+        error_output = capsys.readouterr().err.strip().splitlines()
+        assert len(error_output) == 1
+        assert error_output[0].startswith("dnasim: error: [config]")
+        assert "bogus" in error_output[0]
+
+    def test_cli_accepts_valid_backend(self, capsys):
+        assert main(["--align-backend", "bitparallel", "experiment", "table_1_1"]) == 0
+        assert "Nanopore" in capsys.readouterr().out
