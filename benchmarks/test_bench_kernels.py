@@ -34,6 +34,7 @@ from repro.align.kernels import (
 from repro.cluster.greedy import GreedyClusterer
 from repro.core.channel import Channel
 from repro.data.nanopore import ground_truth_model
+from repro.observability.bench import assert_stamped, stamp_record
 
 #: Where the kernel-timing record lands (the repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
@@ -145,19 +146,22 @@ def test_bench_kernels_record():
 
     length_110 = kernels_record["110"]["edit_distance"]
     kernel_speedup = length_110["python"] / length_110["bitparallel"]
-    record = {
-        "band": BAND,
-        "pairs_per_cell": PAIRS_PER_CELL,
-        "kernels_ns_per_pair": kernels_record,
-        "clustering": {
-            "reads": len(reads),
-            "strand_length": 110,
-            "python_s": clustering["python"],
-            "bitparallel_s": clustering["bitparallel"],
-            "speedup": clustering["speedup"],
-        },
-        "edit_distance_110_speedup": kernel_speedup,
-    }
+    record = stamp_record(
+        {
+            "band": BAND,
+            "pairs_per_cell": PAIRS_PER_CELL,
+            "kernels_ns_per_pair": kernels_record,
+            "clustering": {
+                "reads": len(reads),
+                "strand_length": 110,
+                "python_s": clustering["python"],
+                "bitparallel_s": clustering["bitparallel"],
+                "speedup": clustering["speedup"],
+            },
+            "edit_distance_110_speedup": kernel_speedup,
+        }
+    )
+    assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
 
     assert kernel_speedup >= MIN_KERNEL_SPEEDUP, (

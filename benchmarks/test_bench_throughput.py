@@ -18,6 +18,8 @@ import pytest
 
 from repro.align.gestalt import matching_blocks
 from repro.align.operations import edit_operations
+from repro.observability import counter, span
+from repro.observability.bench import assert_stamped, stamp_record
 from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile
@@ -135,14 +137,44 @@ def test_bench_parallel_stages(warm_context, n_clusters):
             if timings["parallel_s"] > 0
             else 0.0
         )
-    record = {
-        "n_clusters": n_clusters,
-        "workers": workers,
-        "cpu_count": cpu_count,
-        "reconstructor": reconstructor.name,
-        "reconstruct_coverage": 10,
-        "stages": stages,
+
+    # Zero-cost-by-default check: time the no-op instrumentation event
+    # (a disabled span plus a disabled counter — the construct every
+    # instrumented call site pays) and bound its worst-case share of each
+    # stage's serial wall-clock, assuming one event per cluster (the
+    # instrumentation actually emits a constant handful per *stage call*,
+    # so this overestimates).
+    noop_events = 20_000
+    start = time.perf_counter()
+    for _ in range(noop_events):
+        with span("bench.noop", clusters=0):
+            counter("bench.noop").inc()
+    per_event_s = (time.perf_counter() - start) / noop_events
+    overhead = {
+        "noop_event_ns": per_event_s * 1e9,
+        "per_stage_fraction": {},
     }
+    for stage_name, timings in stages.items():
+        if timings["serial_s"] > 0:
+            fraction = per_event_s * n_clusters / timings["serial_s"]
+            overhead["per_stage_fraction"][stage_name] = fraction
+            assert fraction < 0.05, (
+                f"disabled-instrumentation overhead is {fraction * 100:.2f}% "
+                f"of the serial {stage_name} stage (floor < 5%)"
+            )
+
+    record = stamp_record(
+        {
+            "n_clusters": n_clusters,
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "reconstructor": reconstructor.name,
+            "reconstruct_coverage": 10,
+            "stages": stages,
+            "observability_overhead": overhead,
+        }
+    )
+    assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
 
     if cpu_count == 1:

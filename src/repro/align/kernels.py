@@ -44,6 +44,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.exceptions import ConfigError
+from repro.observability import _state as _obs_state
 
 #: Environment variable naming the default backend.
 ALIGN_BACKEND_ENV = "REPRO_ALIGN_BACKEND"
@@ -382,10 +383,25 @@ def _numpy_lcs(
 # ------------------------------------------------------------------ #
 
 
+def _count_kernel_call(backend: str, kernel: str) -> None:
+    """Record one kernel dispatch in the metrics registry.
+
+    These kernels are the innermost hot path of the whole harness, so the
+    counter bypasses the null-object helper: callers guard on
+    ``_obs_state.registry is not None`` (one global load and an ``is``
+    check) and pay nothing when metrics are disabled.
+    """
+    _obs_state.registry.counter(
+        "kernel.calls", backend=backend, kernel=kernel
+    ).inc()
+
+
 def edit_distance_kernel(first: str, second: str) -> int:
     """Backend-dispatched Levenshtein distance (no fast exits — callers
     like :func:`repro.align.edit_distance.edit_distance` apply those)."""
     backend = align_backend()
+    if _obs_state.registry is not None:
+        _count_kernel_call(backend, "edit")
     if backend == "python":
         return _python_distance(first, second)
     if backend == "numpy":
@@ -398,6 +414,8 @@ def banded_distance_kernel(first: str, second: str, band: int) -> int:
     ``<= band``, else the lower bound ``band + 1``.  Callers must have
     applied the ``abs(len difference) > band`` short-circuit already."""
     backend = align_backend()
+    if _obs_state.registry is not None:
+        _count_kernel_call(backend, "banded")
     if backend == "python":
         return _python_banded(first, second, band)
     if backend == "numpy":
@@ -460,6 +478,8 @@ class CompiledPattern:
         if not self.text or not other:
             return abs(len(self.text) - len(other))
         backend = align_backend()
+        if _obs_state.registry is not None:
+            _count_kernel_call(backend, "edit")
         if backend == "python":
             return _python_distance(self.text, other)
         if backend == "numpy":
@@ -475,6 +495,8 @@ class CompiledPattern:
         if self.text == other:
             return 0
         backend = align_backend()
+        if _obs_state.registry is not None:
+            _count_kernel_call(backend, "banded")
         if backend == "python":
             return _python_banded(self.text, other, band)
         if backend == "numpy":

@@ -25,6 +25,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import observability
 from repro.align.kernels import BACKENDS, set_align_backend
 from repro.core.coverage import ConstantCoverage
 from repro.core.profile import ErrorProfile, SimulatorStage
@@ -179,7 +180,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
         print(f"=== {name} ===")
-        module.run(n_clusters=args.clusters) if name != "table_1_1" else module.run()
+        with observability.span("experiment", experiment=name):
+            if name != "table_1_1":
+                module.run(n_clusters=args.clusters)
+            else:
+                module.run()
         print()
     return 0
 
@@ -233,6 +238,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="alignment kernel backend for edit-distance/gestalt hot "
         f"paths ({'|'.join(BACKENDS)}; all bit-identical; overrides "
         "REPRO_ALIGN_BACKEND; default: auto)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="structured-log threshold (overrides REPRO_LOG_LEVEL; "
+        "default: warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines instead of key=value",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="enable span tracing and write the trace as JSON lines to "
+        "FILE when the command finishes",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable the metrics registry and write it to FILE when the "
+        "command finishes (.prom -> Prometheus text, else JSON)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -329,11 +360,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _export_observability(args: argparse.Namespace) -> None:
+    """Write the collected trace / metrics to the requested files.
+
+    Runs in ``main``'s ``finally`` so a failing subcommand still leaves
+    its partial trace behind — usually exactly the run one wants to
+    inspect.
+    """
+    if args.trace:
+        active_tracer = observability.tracer()
+        if active_tracer is not None:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                handle.write(active_tracer.to_jsonl())
+            print(
+                f"dnasim: trace: {len(active_tracer.records)} spans "
+                f"-> {args.trace}",
+                file=sys.stderr,
+            )
+    if args.metrics_out:
+        active_registry = observability.registry()
+        if active_registry is not None:
+            if args.metrics_out.endswith(".prom"):
+                text = active_registry.to_prometheus_text()
+            else:
+                text = active_registry.to_json_text()
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"dnasim: metrics -> {args.metrics_out}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.log_level is not None or args.log_json:
+            observability.configure_logging(
+                level=args.log_level, json_mode=args.log_json or None
+            )
+        if args.trace or args.metrics_out:
+            observability.enable(
+                tracing=bool(args.trace), metrics=bool(args.metrics_out)
+            )
         if args.workers is not None:
             # Install the default so every per-cluster stage a subcommand
             # reaches (directly or through the experiment runners)
@@ -346,7 +414,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             # Raises ConfigError (one-line [config] message) for unknown
             # backend names, matching the --workers behaviour.
             set_align_backend(args.align_backend)
-        return args.handler(args)
+        try:
+            return args.handler(args)
+        finally:
+            _export_observability(args)
+            if args.trace or args.metrics_out:
+                observability.disable()
     except (ReproError, OSError) as error:
         if args.debug:
             raise

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.align.kernels import CompiledPattern
 from repro.cluster.qgram_index import QGramIndex
+from repro.observability import counter, span
 
 
 @dataclass
@@ -80,6 +81,17 @@ class GreedyClusterer:
         threshold — the sweep alone fragments a true cluster whenever an
         early read misses the index's candidate buckets.
         """
+        with span("cluster.greedy", reads=len(reads)) as current_span:
+            result = self._cluster(reads)
+            counter("cluster.assignments").inc(len(result.assignments))
+            counter("cluster.comparisons").inc(result.comparisons)
+            if current_span is not None:
+                current_span.set(
+                    clusters=result.n_clusters, comparisons=result.comparisons
+                )
+            return result
+
+    def _cluster(self, reads: Sequence[str]) -> GreedyClusteringResult:
         index = QGramIndex(q=self.q, bands=self.bands)
         assignments: list[int] = []
         representatives: list[str] = []

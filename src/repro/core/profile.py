@@ -36,6 +36,7 @@ from repro.core.alphabet import BASES
 from repro.core.errors import ErrorModel, SecondOrderError
 from repro.core.spatial import HistogramSpatial, SpatialDistribution, UniformSpatial
 from repro.core.strand import Cluster, StrandPool
+from repro.observability import counter, span
 from repro.parallel import chunk_items, parallel_map, resolve_workers
 
 
@@ -167,21 +168,27 @@ class ErrorProfile:
                 worker).
         """
         effective_workers = resolve_workers(workers)
-        if rng is not None or effective_workers <= 1:
+        with span(
+            "profile_fit", clusters=len(pool), workers=effective_workers
+        ):
+            counter("profile.clusters").inc(len(pool))
+            if rng is not None or effective_workers <= 1:
+                statistics = ErrorStatistics()
+                statistics.tally_pool(pool, max_copies_per_cluster, rng)
+                return cls(statistics)
+            chunks = chunk_items(pool.clusters, effective_workers, chunk_size)
+            partials = parallel_map(
+                partial(
+                    _tally_cluster_chunk, max_copies_per_cluster, align_backend()
+                ),
+                chunks,
+                workers=effective_workers,
+                chunk_size=1,
+            )
             statistics = ErrorStatistics()
-            statistics.tally_pool(pool, max_copies_per_cluster, rng)
+            for part in partials:
+                statistics.merge(part)
             return cls(statistics)
-        chunks = chunk_items(pool.clusters, effective_workers, chunk_size)
-        partials = parallel_map(
-            partial(_tally_cluster_chunk, max_copies_per_cluster, align_backend()),
-            chunks,
-            workers=effective_workers,
-            chunk_size=1,
-        )
-        statistics = ErrorStatistics()
-        for part in partials:
-            statistics.merge(part)
-        return cls(statistics)
 
     # ---------------------------------------------------------------- #
     # Stage models

@@ -31,6 +31,7 @@ from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.core.strand import Cluster, StrandPool
+from repro.observability import counter, span
 from repro.parallel import chunk_items, derive_seed, parallel_map, resolve_workers
 
 
@@ -99,9 +100,17 @@ class Simulator:
         RNG derived from ``(seed, cluster_index)`` and clusters can be
         transmitted on a process pool, bit-identical at any worker count.
         """
-        if not self.per_cluster_seeds:
-            return self.channel.transmit_pool(references, self.coverage)
-        return self._simulate_seeded(references, self.coverage, workers, chunk_size)
+        with span(
+            "simulate",
+            clusters=len(references),
+            per_cluster_seeds=self.per_cluster_seeds,
+        ):
+            counter("simulate.clusters").inc(len(references))
+            if not self.per_cluster_seeds:
+                return self.channel.transmit_pool(references, self.coverage)
+            return self._simulate_seeded(
+                references, self.coverage, workers, chunk_size
+            )
 
     def _simulate_seeded(
         self,

@@ -13,8 +13,14 @@ be bumped whenever generation or profiling semantics change.
 Layout: one pickle per key under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/dnasim``).  Writes are atomic (temp file + ``os.replace``) so
 concurrent sessions never observe a torn file; unreadable or stale
-entries are discarded and regenerated silently.  Set ``REPRO_CACHE=off``
-to disable the cache entirely.
+entries are discarded and regenerated.  Set ``REPRO_CACHE=off`` to
+disable the cache entirely.
+
+Every lifecycle event — hit, miss, stale discard, unreadable discard,
+store — increments a ``cache.*`` counter and emits a structured log
+record carrying the cache key, so a benchmark session can account for
+exactly which artifacts were reused and which were regenerated (the seed
+code regenerated silently).
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ from pathlib import Path
 
 from repro.analysis.error_stats import ErrorStatistics
 from repro.core.strand import StrandPool
+from repro.observability import counter, get_logger
+
+_logger = get_logger("repro.experiments.cache")
 
 #: Bump when dataset generation or profiling changes meaning: stale
 #: entries from older code must never satisfy a newer key.
@@ -56,14 +65,23 @@ def cache_dir() -> Path:
     return Path.home() / ".cache" / "dnasim"
 
 
+def context_cache_key(
+    n_clusters: int, dataset_seed: int, profile_copies: int | None
+) -> str:
+    """The canonical key string for one context (also the file stem)."""
+    copies = "all" if profile_copies is None else str(profile_copies)
+    return (
+        f"context-v{FORMAT_VERSION}"
+        f"-n{n_clusters}-seed{dataset_seed}-copies{copies}"
+    )
+
+
 def context_cache_path(
     n_clusters: int, dataset_seed: int, profile_copies: int | None
 ) -> Path:
     """The cache file for one context key."""
-    copies = "all" if profile_copies is None else str(profile_copies)
     return cache_dir() / (
-        f"context-v{FORMAT_VERSION}"
-        f"-n{n_clusters}-seed{dataset_seed}-copies{copies}.pkl"
+        context_cache_key(n_clusters, dataset_seed, profile_copies) + ".pkl"
     )
 
 
@@ -73,14 +91,35 @@ def load_context_artifacts(
     """Fetch a cached (dataset, fitted statistics) pair, or None.
 
     Corrupt or structurally unexpected entries are deleted and treated
-    as misses — the cache must never be able to wedge a session.
+    as misses — the cache must never be able to wedge a session.  Each
+    outcome is counted and logged with its cache key: ``cache.hit``,
+    ``cache.miss`` (no entry), ``cache.unreadable_discard`` (the pickle
+    itself cannot be loaded), ``cache.stale_discard`` (it loads but its
+    structure no longer matches what this code expects).
     """
     if not cache_enabled():
         return None
+    key = context_cache_key(n_clusters, dataset_seed, profile_copies)
     path = context_cache_path(n_clusters, dataset_seed, profile_copies)
     try:
         with path.open("rb") as handle:
             payload = pickle.load(handle)
+    except FileNotFoundError:
+        counter("cache.miss").inc()
+        _logger.debug("cache.miss", key=key, path=str(path))
+        return None
+    except Exception as error:  # torn write, foreign bytes, unpicklable ref
+        counter("cache.unreadable_discard").inc()
+        _logger.warning(
+            "cache.unreadable_discard",
+            key=key,
+            path=str(path),
+            error=type(error).__name__,
+            detail=str(error),
+        )
+        _discard(path)
+        return None
+    try:
         pool = payload["pool"]
         statistics = payload["statistics"]
         if not isinstance(pool, StrandPool) or not isinstance(
@@ -89,15 +128,28 @@ def load_context_artifacts(
             raise TypeError("unexpected cache payload types")
         if len(pool) != n_clusters:
             raise ValueError("cached pool size does not match its key")
-    except FileNotFoundError:
+    except Exception as error:  # loads fine, but the shape is from old code
+        counter("cache.stale_discard").inc()
+        _logger.warning(
+            "cache.stale_discard",
+            key=key,
+            path=str(path),
+            error=type(error).__name__,
+            detail=str(error),
+        )
+        _discard(path)
         return None
-    except Exception:
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+    counter("cache.hit").inc()
+    _logger.debug("cache.hit", key=key, path=str(path))
     return pool, statistics
+
+
+def _discard(path: Path) -> None:
+    """Best-effort removal of a rejected cache entry."""
+    try:
+        path.unlink()
+    except OSError:
+        pass
 
 
 def store_context_artifacts(
@@ -114,6 +166,7 @@ def store_context_artifacts(
     """
     if not cache_enabled():
         return None
+    key = context_cache_key(n_clusters, dataset_seed, profile_copies)
     path = context_cache_path(n_clusters, dataset_seed, profile_copies)
     payload = {"pool": pool, "statistics": statistics}
     try:
@@ -131,8 +184,18 @@ def store_context_artifacts(
             except OSError:
                 pass
             raise
-    except OSError:
+    except OSError as error:
+        counter("cache.store_failed").inc()
+        _logger.warning(
+            "cache.store_failed",
+            key=key,
+            path=str(path),
+            error=type(error).__name__,
+            detail=str(error),
+        )
         return None
+    counter("cache.store").inc()
+    _logger.debug("cache.store", key=key, path=str(path))
     return path
 
 

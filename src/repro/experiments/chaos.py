@@ -20,9 +20,12 @@ import random
 
 from repro.core.errors import ErrorModel
 from repro.experiments.common import format_table
+from repro.observability import counter, get_logger, span
 from repro.pipeline.storage import DNAArchive
 from repro.reconstruct.iterative import IterativeReconstruction
 from repro.robustness import FaultInjector, RetryPolicy, SEVERITY_LEVELS
+
+_logger = get_logger("repro.experiments.chaos")
 
 #: Severity sweep order (mirrors the documented ladder).
 SEVERITIES = tuple(SEVERITY_LEVELS)
@@ -95,37 +98,61 @@ def run(
         fractions: list[float] = []
         attempts_used: list[int] = []
         faults_injected = 0
-        for trial in range(n_trials):
-            trial_rng = random.Random(f"{seed}:{severity}:{trial}")
-            payload = bytes(
-                trial_rng.randrange(256) for _ in range(payload_length)
-            )
-            archive = DNAArchive(
-                seed=seed + trial,
-                payload_bytes=PAYLOAD_BYTES,
-                rs_group_data=RS_GROUP_DATA,
-                rs_group_parity=RS_GROUP_PARITY,
-            )
-            archive.write("file", payload)
-            injector = FaultInjector(severity, seed=seed * 1000 + trial)
-            try:
-                result = archive.retrieve(
-                    "file",
-                    channel_model=channel,
-                    coverage=BASE_COVERAGE,
-                    faults=injector,
-                    retry=policy,
+        with span(
+            "chaos.severity", severity=severity, trials=n_trials
+        ) as severity_span:
+            for trial in range(n_trials):
+                counter("chaos.trials", severity=severity).inc()
+                trial_rng = random.Random(f"{seed}:{severity}:{trial}")
+                payload = bytes(
+                    trial_rng.randrange(256) for _ in range(payload_length)
                 )
-            except Exception:  # noqa: BLE001 — the metric under test
-                unhandled_errors += 1
-                continue
-            faults_injected += injector.report.total_faults
-            attempts_used.append(result.n_attempts)
-            if result.complete and result.data == payload:
-                exact += 1
-                fractions.append(1.0)
-            else:
-                fractions.append(result.recovery_fraction)
+                archive = DNAArchive(
+                    seed=seed + trial,
+                    payload_bytes=PAYLOAD_BYTES,
+                    rs_group_data=RS_GROUP_DATA,
+                    rs_group_parity=RS_GROUP_PARITY,
+                )
+                archive.write("file", payload)
+                injector = FaultInjector(severity, seed=seed * 1000 + trial)
+                try:
+                    result = archive.retrieve(
+                        "file",
+                        channel_model=channel,
+                        coverage=BASE_COVERAGE,
+                        faults=injector,
+                        retry=policy,
+                    )
+                except Exception as error:  # noqa: BLE001 — the metric under test
+                    unhandled_errors += 1
+                    counter("chaos.unhandled_errors", severity=severity).inc()
+                    _logger.error(
+                        "chaos_unhandled_error",
+                        severity=severity,
+                        trial=trial,
+                        error=str(error),
+                    )
+                    continue
+                faults_injected += injector.report.total_faults
+                attempts_used.append(result.n_attempts)
+                recovered = bool(result.complete and result.data == payload)
+                if recovered:
+                    exact += 1
+                    fractions.append(1.0)
+                else:
+                    fractions.append(result.recovery_fraction)
+                _logger.info(
+                    "chaos_trial",
+                    severity=severity,
+                    trial=trial,
+                    recovered=recovered,
+                    attempts=result.n_attempts,
+                    faults=injector.report.total_faults,
+                )
+            if severity_span is not None:
+                severity_span.set(
+                    recovered_exactly=exact, faults_injected=faults_injected
+                )
         recovery_rate[severity] = exact / n_trials
         mean_fraction[severity] = (
             sum(fractions) / len(fractions) if fractions else 0.0

@@ -27,6 +27,7 @@ from repro.core.simulator import Simulator
 from repro.core.coverage import ConstantCoverage
 from repro.core.strand import StrandPool
 from repro.data.nanopore import make_nanopore_dataset
+from repro.observability import span
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.bma import BMALookahead
 from repro.reconstruct.divider_bma import DividerBMA
@@ -67,19 +68,22 @@ class ExperimentContext:
             self.real_pool, statistics = cached
             self.profile = ErrorProfile(statistics)
         else:
-            self.real_pool = make_nanopore_dataset(
-                n_clusters=self.n_clusters, seed=DATASET_SEED
-            )
-            self.profile = ErrorProfile.from_pool(
-                self.real_pool, max_copies_per_cluster=PROFILE_COPIES
-            )
-            context_cache.store_context_artifacts(
-                self.n_clusters,
-                DATASET_SEED,
-                PROFILE_COPIES,
-                self.real_pool,
-                self.profile.statistics,
-            )
+            with span(
+                "context.build", n_clusters=self.n_clusters, seed=DATASET_SEED
+            ):
+                self.real_pool = make_nanopore_dataset(
+                    n_clusters=self.n_clusters, seed=DATASET_SEED
+                )
+                self.profile = ErrorProfile.from_pool(
+                    self.real_pool, max_copies_per_cluster=PROFILE_COPIES
+                )
+                context_cache.store_context_artifacts(
+                    self.n_clusters,
+                    DATASET_SEED,
+                    PROFILE_COPIES,
+                    self.real_pool,
+                    self.profile.statistics,
+                )
         rng = random.Random(SHUFFLE_SEED)
         self._shuffled = self.real_pool.shuffled_copies(rng).with_min_coverage(10)
 

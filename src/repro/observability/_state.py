@@ -1,0 +1,24 @@
+"""Process-wide observability state.
+
+One tiny module with no dependencies so every layer — the tracer, the
+metrics registry, the structured logger, and the instrumented call sites
+scattered through the pipeline — can share the same switch without
+import cycles.  ``tracer`` and ``registry`` are ``None`` when
+instrumentation is disabled (the default); the hot-path helpers in
+:mod:`repro.observability.metrics` and
+:mod:`repro.observability.tracing` check that with a single attribute
+read and fall back to shared no-op objects, which is what keeps
+disabled-instrumentation overhead in the noise.
+"""
+
+from __future__ import annotations
+
+#: Active span tracer, or None when tracing is disabled.
+tracer = None
+
+#: Active metrics registry, or None when metrics are disabled.
+registry = None
+
+#: (tracer, registry) saved by a worker process while it collects into
+#: fresh local instances (see ``begin_worker_collection``).
+worker_saved = None

@@ -1,0 +1,66 @@
+"""Provenance stamping for the committed benchmark records.
+
+``BENCH_throughput.json`` and ``BENCH_kernels.json`` track the perf
+trajectory PR over PR, which only works if every record says *which code
+produced it and when*.  :func:`stamp_record` adds a schema version, the
+git SHA of the working tree, and an ISO-8601 UTC timestamp; the bench
+tests assert the stamp with :func:`assert_stamped` so an unstamped
+record can never be committed again.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Bump when the shape of a bench record changes incompatibly.
+#: Version 2 introduced the provenance stamp itself.
+BENCH_SCHEMA_VERSION = 2
+
+#: Fields :func:`stamp_record` adds to every record.
+STAMP_FIELDS = ("schema_version", "git_sha", "timestamp")
+
+
+def git_sha() -> str:
+    """The short SHA of the repository containing this file, or
+    ``"unknown"`` outside a git checkout (installed packages, tarballs)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def stamp_record(record: dict) -> dict:
+    """A copy of ``record`` carrying the provenance stamp."""
+    return {
+        **record,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def assert_stamped(record: dict) -> None:
+    """Assert a bench record carries a valid provenance stamp.
+
+    Raises:
+        AssertionError: missing stamp fields, a wrong schema version, or
+            an unparsable timestamp.
+    """
+    for field in STAMP_FIELDS:
+        assert field in record and record[field], f"bench record missing {field!r}"
+    assert record["schema_version"] == BENCH_SCHEMA_VERSION, (
+        f"bench record schema_version {record['schema_version']!r} != "
+        f"{BENCH_SCHEMA_VERSION}"
+    )
+    datetime.fromisoformat(record["timestamp"])  # raises if unparsable

@@ -1,0 +1,217 @@
+"""Nestable span tracing with JSON-lines export and a flame summary.
+
+A *span* is one timed region of the pipeline — ``span("reconstruct",
+algorithm="Iterative", clusters=200)`` — recording wall time, outcome
+(``ok`` / ``error`` with the exception type), and arbitrary scalar
+attributes.  Spans nest: the tracer keeps a stack, so a span opened while
+another is active becomes its child, and the finished records form a
+trace tree linked by ``span_id`` / ``parent_id``.
+
+Design constraints, in priority order:
+
+* **zero-cost when disabled** — :func:`span` returns one shared no-op
+  context manager when no tracer is installed; the instrumented hot
+  paths pay a single attribute check;
+* **cross-process mergeable** — finished records are plain dicts, so a
+  worker's records travel through a process pool and are re-parented
+  under the caller's active span by :meth:`Tracer.merge_worker_records`;
+* **latency histograms for free** — every finished span observes its
+  duration into the ``span.seconds{span=...}`` histogram when the
+  metrics registry is active, which is where the per-stage latency
+  distributions come from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.observability import _state
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """One open span; appends its record to the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or update) attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        tracer = self._tracer
+        tracer._stack.pop()
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self._start - tracer._epoch, 9),
+            "duration_s": duration,
+            "outcome": "ok" if exc_type is None else "error",
+            "attrs": self.attrs,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        tracer.records.append(record)
+        registry = _state.registry
+        if registry is not None:
+            # Label key is ``span`` (not ``name``) so it can travel through
+            # the registry helpers' ``**labels`` without colliding with
+            # their ``name`` parameter.
+            registry.histogram("span.seconds", span=self.name).observe(duration)
+        return False
+
+
+class Tracer:
+    """Collects finished span records for one process.
+
+    ``records`` holds plain dicts in completion order (children before
+    their parents, since a span is recorded when it closes); the tree
+    structure lives in the ``span_id`` / ``parent_id`` links.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    @property
+    def active_span_id(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def merge_worker_records(self, records: list[dict]) -> None:
+        """Adopt span records collected in a worker process.
+
+        Worker span ids are re-issued from this tracer's sequence (two
+        workers can both have used id 1) and worker root spans are
+        re-parented under the currently active span, so the merged trace
+        stays one tree.  Worker ``start_s`` offsets are in the worker's
+        own timebase and are kept as-is (durations, not absolute starts,
+        are what the flame summary consumes); merged records are marked
+        ``worker: true``.
+        """
+        if not records:
+            return
+        anchor = self.active_span_id
+        mapping = {record["span_id"]: None for record in records}
+        for old_id in mapping:
+            mapping[old_id] = self._next_id
+            self._next_id += 1
+        for record in records:
+            adopted = dict(record)
+            adopted["span_id"] = mapping[record["span_id"]]
+            parent = record.get("parent_id")
+            adopted["parent_id"] = (
+                mapping.get(parent, anchor) if parent is not None else anchor
+            )
+            adopted["worker"] = True
+            self.records.append(adopted)
+
+    # -------------------------------------------------------------- #
+    # Exporters
+    # -------------------------------------------------------------- #
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span (``--trace file``)."""
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in self.records
+        )
+
+    def span_path(self, record: dict) -> str:
+        """The ``root/child/leaf`` name path of one record."""
+        by_id = {r["span_id"]: r for r in self.records}
+        parts = [record["name"]]
+        parent = record.get("parent_id")
+        while parent is not None:
+            parent_record = by_id.get(parent)
+            if parent_record is None:  # parent still open at export time
+                break
+            parts.append(parent_record["name"])
+            parent = parent_record.get("parent_id")
+        return "/".join(reversed(parts))
+
+    def flame_summary(self) -> list[dict]:
+        """Aggregate spans by name path — a flame-graph-style rollup.
+
+        Returns one row per distinct path with ``count``, ``total_s``,
+        ``errors``, sorted by descending total time.
+        """
+        rollup: dict[str, dict] = {}
+        for record in self.records:
+            path = self.span_path(record)
+            row = rollup.get(path)
+            if row is None:
+                row = rollup[path] = {
+                    "path": path,
+                    "count": 0,
+                    "total_s": 0.0,
+                    "errors": 0,
+                }
+            row["count"] += 1
+            row["total_s"] += record["duration_s"]
+            if record["outcome"] == "error":
+                row["errors"] += 1
+        return sorted(rollup.values(), key=lambda row: -row["total_s"])
+
+    def flame_text(self) -> str:
+        """The flame summary rendered as aligned text."""
+        rows = self.flame_summary()
+        if not rows:
+            return "(no spans recorded)\n"
+        width = max(len(row["path"]) for row in rows)
+        lines = [
+            f"{row['path']:<{width}}  n={row['count']:<6} "
+            f"total={row['total_s']:.4f}s errors={row['errors']}"
+            for row in rows
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def span(name: str, **attrs: object):
+    """Open a nested span on the active tracer (no-op when disabled).
+
+    Usage::
+
+        with span("reconstruct", cluster=i) as sp:
+            ...
+            if sp:
+                sp.set(estimate_length=len(estimate))
+
+    The context value is the live span (for late attributes) or ``None``
+    when tracing is disabled.
+    """
+    tracer = _state.tracer
+    if tracer is None:
+        return NULL_SPAN
+    return _LiveSpan(tracer, name, attrs)

@@ -28,10 +28,21 @@ import hashlib
 import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import TypeVar
+
+from repro import observability
+from repro.observability import get_logger
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+_logger = get_logger("repro.parallel")
+
+#: Malformed ``REPRO_WORKERS`` values already warned about — the
+#: resolver runs on every stage call, and one structured warning per
+#: distinct bad value is signal; one per call is noise.
+_warned_worker_values: set[str] = set()
 
 #: Environment variable naming the default worker count (0 = all cores).
 WORKERS_ENV = "REPRO_WORKERS"
@@ -73,9 +84,18 @@ def default_workers() -> int:
     if _default_workers_override is not None:
         workers = _default_workers_override
     else:
+        raw = os.environ.get(WORKERS_ENV, "1")
         try:
-            workers = int(os.environ.get(WORKERS_ENV, "1"))
+            workers = int(raw)
         except ValueError:
+            if raw not in _warned_worker_values:
+                _warned_worker_values.add(raw)
+                _logger.warning(
+                    "invalid_workers_env",
+                    variable=WORKERS_ENV,
+                    value=raw,
+                    fallback=1,
+                )
             workers = 1
     if workers <= 0:
         return os.cpu_count() or 1
@@ -158,8 +178,36 @@ def parallel_map(
         return []
     if chunk_size is None:
         chunk_size = default_chunk_size(len(items), workers)
+    if observability.collection_enabled():
+        # Pool tasks collect metrics/spans into fresh worker-local
+        # instruments and ship the snapshots home with their results, so
+        # a --workers N run is exactly as observable as a serial one.
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            packed = list(
+                executor.map(
+                    partial(_observed_call, fn), items, chunksize=chunk_size
+                )
+            )
+        results: list[Result] = []
+        for result, metrics_snapshot, span_records in packed:
+            observability.merge_worker_snapshot(metrics_snapshot, span_records)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as executor:
         return list(executor.map(fn, items, chunksize=chunk_size))
+
+
+def _observed_call(
+    fn: Callable[[Item], Result], item: Item
+) -> tuple[Result, dict, list[dict]]:
+    """Pool-task wrapper: run ``fn`` under worker-local collection and
+    return its result together with the collected snapshots."""
+    observability.begin_worker_collection()
+    try:
+        result = fn(item)
+    finally:
+        metrics_snapshot, span_records = observability.end_worker_collection()
+    return result, metrics_snapshot, span_records
 
 
 def derive_seed(base_seed: int, index: int) -> int:

@@ -33,6 +33,7 @@ from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
 from repro.core.strand import Cluster, StrandPool
 from repro.exceptions import ConfigError
+from repro.observability import counter, span
 from repro.pipeline.decay import StorageDecay
 from repro.pipeline.pcr import PCRAmplifier
 from repro.core.spatial import TerminalSkew
@@ -120,89 +121,110 @@ class StagedChannel:
         self.last_report: StageReport | None = None
 
     def simulate(self, references: Sequence[str]) -> StrandPool:
-        """Run every configured stage; returns a pseudo-clustered pool."""
-        # Stage 1: synthesis — one physical molecule per design.
-        if self.synthesis is not None:
-            synthesis_channel = Channel(self.synthesis, self.rng)
-            molecules = [
-                synthesis_channel.transmit(reference)
-                for reference in references
-            ]
-        else:
-            molecules = list(references)
+        """Run every configured stage; returns a pseudo-clustered pool.
 
-        # Stage 2: PCR — per-strand populations with sequence bias.
-        if self.pcr is not None:
-            amplified = self.pcr.amplify(molecules, cycles=self.pcr_cycles)
-            populations: list[list[tuple[str, int]]] = amplified.molecules
-        else:
-            populations = [[(molecule, 1)] for molecule in molecules]
-        molecules_after_pcr = sum(
-            count for variants in populations for _seq, count in variants
-        )
+        Each physical stage runs under its own span (nested in
+        ``staged_channel``) so a trace shows where a staged simulation
+        spends its time; the per-stage molecule counts land both in the
+        span attributes and in the :class:`StageReport`.
+        """
+        with span("staged_channel", clusters=len(references)):
+            # Stage 1: synthesis — one physical molecule per design.
+            with span("staged_channel.synthesis", enabled=self.synthesis is not None):
+                if self.synthesis is not None:
+                    synthesis_channel = Channel(self.synthesis, self.rng)
+                    molecules = [
+                        synthesis_channel.transmit(reference)
+                        for reference in references
+                    ]
+                else:
+                    molecules = list(references)
 
-        # Stage 3: decay — thin each population binomially.
-        if self.decay is not None and self.storage_years > 0:
-            survival = self.decay.parameters.survival_probability(
-                self.storage_years
+            # Stage 2: PCR — per-strand populations with sequence bias.
+            with span("staged_channel.pcr", enabled=self.pcr is not None) as pcr_span:
+                if self.pcr is not None:
+                    amplified = self.pcr.amplify(molecules, cycles=self.pcr_cycles)
+                    populations: list[list[tuple[str, int]]] = amplified.molecules
+                else:
+                    populations = [[(molecule, 1)] for molecule in molecules]
+                molecules_after_pcr = sum(
+                    count for variants in populations for _seq, count in variants
+                )
+                if pcr_span is not None:
+                    pcr_span.set(molecules=molecules_after_pcr)
+
+            # Stage 3: decay — thin each population binomially.
+            decay_enabled = self.decay is not None and self.storage_years > 0
+            with span("staged_channel.decay", enabled=decay_enabled) as decay_span:
+                if decay_enabled:
+                    survival = self.decay.parameters.survival_probability(
+                        self.storage_years
+                    )
+                    decayed: list[list[tuple[str, int]]] = []
+                    for variants in populations:
+                        surviving: list[tuple[str, int]] = []
+                        for sequence, count in variants:
+                            kept = sum(
+                                1 for _ in range(count) if self.rng.random() < survival
+                            ) if count <= 64 else max(0, round(count * survival))
+                            if kept:
+                                aged = self.decay.age_strand(sequence, 0.0)
+                                surviving.append((aged if aged else sequence, kept))
+                        decayed.append(surviving)
+                    populations = decayed
+                molecules_after_decay = sum(
+                    count for variants in populations for _seq, count in variants
+                )
+                if decay_span is not None:
+                    decay_span.set(molecules=molecules_after_decay)
+
+            # Stage 4: sequencing — sample reads proportional to abundance.
+            with span(
+                "staged_channel.sequencing", enabled=self.sequencing is not None
+            ) as sequencing_span:
+                total_molecules = molecules_after_decay
+                n_reads_target = int(round(self.reads_per_strand * len(references)))
+                sequencing_channel = (
+                    Channel(self.sequencing, self.rng)
+                    if self.sequencing is not None
+                    else None
+                )
+                clusters = [Cluster(reference) for reference in references]
+                reads = 0
+                if total_molecules > 0:
+                    # Flatten abundances once for proportional sampling.
+                    flat: list[tuple[int, str, int]] = []
+                    for index, variants in enumerate(populations):
+                        for sequence, count in variants:
+                            flat.append((index, sequence, count))
+                    for _ in range(n_reads_target):
+                        point = self.rng.randrange(total_molecules)
+                        cumulative = 0
+                        for index, sequence, count in flat:
+                            cumulative += count
+                            if point < cumulative:
+                                read = (
+                                    sequencing_channel.transmit(sequence)
+                                    if sequencing_channel is not None
+                                    else sequence
+                                )
+                                if read:
+                                    clusters[index].add_copy(read)
+                                    reads += 1
+                                break
+                if sequencing_span is not None:
+                    sequencing_span.set(reads=reads)
+                counter("staged_channel.reads").inc(reads)
+
+            pool = StrandPool(clusters)
+            self.last_report = StageReport(
+                synthesized=len(references),
+                molecules_after_pcr=molecules_after_pcr,
+                molecules_after_decay=molecules_after_decay,
+                reads=reads,
+                erasures=pool.erasure_count,
             )
-            decayed: list[list[tuple[str, int]]] = []
-            for variants in populations:
-                surviving: list[tuple[str, int]] = []
-                for sequence, count in variants:
-                    kept = sum(
-                        1 for _ in range(count) if self.rng.random() < survival
-                    ) if count <= 64 else max(0, round(count * survival))
-                    if kept:
-                        aged = self.decay.age_strand(sequence, 0.0)
-                        surviving.append((aged if aged else sequence, kept))
-                decayed.append(surviving)
-            populations = decayed
-        molecules_after_decay = sum(
-            count for variants in populations for _seq, count in variants
-        )
-
-        # Stage 4: sequencing — sample reads proportional to abundance.
-        total_molecules = molecules_after_decay
-        n_reads_target = int(round(self.reads_per_strand * len(references)))
-        sequencing_channel = (
-            Channel(self.sequencing, self.rng)
-            if self.sequencing is not None
-            else None
-        )
-        clusters = [Cluster(reference) for reference in references]
-        reads = 0
-        if total_molecules > 0:
-            # Flatten abundances once for proportional sampling.
-            flat: list[tuple[int, str, int]] = []
-            for index, variants in enumerate(populations):
-                for sequence, count in variants:
-                    flat.append((index, sequence, count))
-            for _ in range(n_reads_target):
-                point = self.rng.randrange(total_molecules)
-                cumulative = 0
-                for index, sequence, count in flat:
-                    cumulative += count
-                    if point < cumulative:
-                        read = (
-                            sequencing_channel.transmit(sequence)
-                            if sequencing_channel is not None
-                            else sequence
-                        )
-                        if read:
-                            clusters[index].add_copy(read)
-                            reads += 1
-                        break
-
-        pool = StrandPool(clusters)
-        self.last_report = StageReport(
-            synthesized=len(references),
-            molecules_after_pcr=molecules_after_pcr,
-            molecules_after_decay=molecules_after_decay,
-            reads=reads,
-            erasures=pool.erasure_count,
-        )
-        return pool
+            return pool
 
 
 def default_staged_channel(

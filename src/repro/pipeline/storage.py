@@ -41,6 +41,7 @@ from repro.core.channel import Channel
 from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
 from repro.exceptions import ConfigError, EncodeError, RetrievalError
+from repro.observability import counter, get_logger, span
 from repro.pipeline.decay import StorageDecay
 from repro.pipeline.encoding import Basic2BitCodec, Codec
 from repro.pipeline.primers import generate_primer_library
@@ -55,6 +56,9 @@ from repro.robustness.retry import (
     RetryPolicy,
     ranges_from_flags,
 )
+
+
+_logger = get_logger("repro.pipeline.storage")
 
 
 class ArchiveError(RetrievalError):
@@ -375,89 +379,121 @@ class DNAArchive:
         primary = reconstructor or BMALookahead()
         strands = self._aged_strands(stored, decay, storage_years)
 
-        payload_by_index: dict[int, bytes] = {}
-        failures: dict[int, str] = {}
-        attempts: list[AttemptReport] = []
-        total_reads = 0
-        for attempt in range(policy.max_attempts):
-            attempt_coverage = policy.coverage_for_attempt(
-                coverage, attempt, len(strands)
-            )
-            algorithm = policy.reconstructor_for_attempt(primary, attempt)
-            coverages = [attempt_coverage] * len(strands)
-            survey = self._survey(
-                stored, strands, channel_model, coverages, algorithm, faults
-            )
-            total_reads += survey.n_reads
-            for index, payload in survey.payload_by_index.items():
-                payload_by_index.setdefault(index, payload)
-            failures = {
-                index: reason
-                for index, reason in survey.failures.items()
-                if index not in payload_by_index
-            }
-            n_missing = stored.n_total_strands - len(payload_by_index)
-            try:
-                data, n_erasures, n_corrected = self._decode_groups(
-                    stored, payload_by_index
+        with span("retrieve", key=key, max_attempts=policy.max_attempts):
+            payload_by_index: dict[int, bytes] = {}
+            failures: dict[int, str] = {}
+            attempts: list[AttemptReport] = []
+            total_reads = 0
+            for attempt in range(policy.max_attempts):
+                attempt_coverage = policy.coverage_for_attempt(
+                    coverage, attempt, len(strands)
                 )
-            except ArchiveError as error:
-                attempts.append(
-                    AttemptReport(
-                        attempt=attempt,
-                        coverage=attempt_coverage,
-                        n_reads=survey.n_reads,
-                        n_parsed_strands=len(payload_by_index),
-                        n_missing_strands=n_missing,
-                        reconstructor=algorithm.name,
-                        succeeded=False,
-                        failure=str(error),
-                    )
-                )
-                continue
-            attempts.append(
-                AttemptReport(
+                algorithm = policy.reconstructor_for_attempt(primary, attempt)
+                with span(
+                    "retrieve.attempt",
                     attempt=attempt,
                     coverage=attempt_coverage,
-                    n_reads=survey.n_reads,
-                    n_parsed_strands=len(payload_by_index),
-                    n_missing_strands=n_missing,
                     reconstructor=algorithm.name,
-                    succeeded=True,
+                ) as attempt_span:
+                    coverages = [attempt_coverage] * len(strands)
+                    survey = self._survey(
+                        stored, strands, channel_model, coverages, algorithm, faults
+                    )
+                    total_reads += survey.n_reads
+                    for index, payload in survey.payload_by_index.items():
+                        payload_by_index.setdefault(index, payload)
+                    failures = {
+                        index: reason
+                        for index, reason in survey.failures.items()
+                        if index not in payload_by_index
+                    }
+                    n_missing = stored.n_total_strands - len(payload_by_index)
+                    if attempt_span is not None:
+                        attempt_span.set(missing_strands=n_missing)
+                    try:
+                        data, n_erasures, n_corrected = self._decode_groups(
+                            stored, payload_by_index
+                        )
+                    except ArchiveError as error:
+                        counter("retry.attempts", outcome="decode_failure").inc()
+                        if attempt_span is not None:
+                            attempt_span.set(outcome="decode_failure")
+                        _logger.warning(
+                            "retrieve_attempt_failed",
+                            key=key,
+                            attempt=attempt,
+                            coverage=attempt_coverage,
+                            reconstructor=algorithm.name,
+                            missing_strands=n_missing,
+                            stage=error.stage,
+                            error=str(error),
+                        )
+                        attempts.append(
+                            AttemptReport(
+                                attempt=attempt,
+                                coverage=attempt_coverage,
+                                n_reads=survey.n_reads,
+                                n_parsed_strands=len(payload_by_index),
+                                n_missing_strands=n_missing,
+                                reconstructor=algorithm.name,
+                                succeeded=False,
+                                failure=str(error),
+                            )
+                        )
+                        continue
+                    counter("retry.attempts", outcome="success").inc()
+                    if attempt_span is not None:
+                        attempt_span.set(outcome="success")
+                    attempts.append(
+                        AttemptReport(
+                            attempt=attempt,
+                            coverage=attempt_coverage,
+                            n_reads=survey.n_reads,
+                            n_parsed_strands=len(payload_by_index),
+                            n_missing_strands=n_missing,
+                            reconstructor=algorithm.name,
+                            succeeded=True,
+                        )
+                    )
+                return RecoveryResult(
+                    key=key,
+                    data=data[: stored.data_length],
+                    complete=True,
+                    data_length=stored.data_length,
+                    recovered_bytes=stored.data_length,
+                    erasure_map=(),
+                    strand_failures={},
+                    attempts=tuple(attempts),
+                    n_erasures=n_erasures,
+                    n_corrected_errors=n_corrected,
+                    n_reads=total_reads,
                 )
+
+            # Retries exhausted: salvage whatever the pool still supports.
+            counter("retry.exhausted").inc()
+            _logger.warning(
+                "retrieve_retries_exhausted",
+                key=key,
+                attempts=policy.max_attempts,
+                missing_strands=stored.n_total_strands - len(payload_by_index),
             )
+            data, recovered_flags, n_erasures, n_corrected = (
+                self._decode_groups_partial(stored, payload_by_index)
+            )
+            flags = recovered_flags[: stored.data_length]
             return RecoveryResult(
                 key=key,
                 data=data[: stored.data_length],
-                complete=True,
+                complete=False,
                 data_length=stored.data_length,
-                recovered_bytes=stored.data_length,
-                erasure_map=(),
-                strand_failures={},
+                recovered_bytes=sum(flags),
+                erasure_map=ranges_from_flags(flags),
+                strand_failures=failures,
                 attempts=tuple(attempts),
                 n_erasures=n_erasures,
                 n_corrected_errors=n_corrected,
                 n_reads=total_reads,
             )
-
-        # Retries exhausted: salvage whatever the pool still supports.
-        data, recovered_flags, n_erasures, n_corrected = (
-            self._decode_groups_partial(stored, payload_by_index)
-        )
-        flags = recovered_flags[: stored.data_length]
-        return RecoveryResult(
-            key=key,
-            data=data[: stored.data_length],
-            complete=False,
-            data_length=stored.data_length,
-            recovered_bytes=sum(flags),
-            erasure_map=ranges_from_flags(flags),
-            strand_failures=failures,
-            attempts=tuple(attempts),
-            n_erasures=n_erasures,
-            n_corrected_errors=n_corrected,
-            n_reads=total_reads,
-        )
 
     # ---------------------------------------------------------------- #
     # Decoding

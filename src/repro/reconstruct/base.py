@@ -15,6 +15,7 @@ from collections.abc import Sequence
 from functools import partial
 
 from repro.core.strand import Cluster, StrandPool
+from repro.observability import counter, span
 from repro.parallel import parallel_map
 
 
@@ -62,12 +63,14 @@ class Reconstructor(ABC):
             chunk_size: clusters per pool task (default ~4 chunks per
                 worker).
         """
-        return parallel_map(
-            partial(_reconstruct_copies, self, strand_length),
-            [cluster.copies for cluster in pool],
-            workers=workers,
-            chunk_size=chunk_size,
-        )
+        with span("reconstruct", algorithm=self.name, clusters=len(pool)):
+            counter("reconstruct.clusters", algorithm=self.name).inc(len(pool))
+            return parallel_map(
+                partial(_reconstruct_copies, self, strand_length),
+                [cluster.copies for cluster in pool],
+                workers=workers,
+                chunk_size=chunk_size,
+            )
 
 
 def _reconstruct_copies(

@@ -32,6 +32,9 @@ from dataclasses import dataclass, replace
 from repro.core.alphabet import BASES, random_strand
 from repro.core.strand import Cluster, StrandPool
 from repro.exceptions import ConfigError
+from repro.observability import counter, get_logger
+
+_logger = get_logger("repro.robustness.faults")
 
 #: Fields of :class:`FaultSpec` that are probabilities in [0, 1].
 _RATE_FIELDS = (
@@ -207,9 +210,18 @@ class FaultInjector:
 
     def __init__(self, spec: FaultSpec | str = "moderate", seed: int | None = 0) -> None:
         self.spec = resolve_spec(spec)
+        #: Severity-level name when the spec was given as one (used as the
+        #: ``severity`` label on injected-fault metrics; "custom" for an
+        #: explicit :class:`FaultSpec`).
+        self.severity = spec if isinstance(spec, str) else "custom"
         self.seed = seed
         self.rng = random.Random(seed)
         self.report = FaultReport()
+
+    def _record(self, kind: str, count: int = 1) -> None:
+        """Mirror a :class:`FaultReport` increment into the metrics
+        registry (no-op when metrics are disabled)."""
+        counter("faults.injected", kind=kind, severity=self.severity).inc(count)
 
     def reset(self) -> None:
         """Re-seed the RNG and zero the fault counters (exact replay)."""
@@ -226,6 +238,10 @@ class FaultInjector:
         rng = self.rng
         if spec.cluster_dropout and rng.random() < spec.cluster_dropout:
             self.report.clusters_dropped += 1
+            self._record("cluster_dropout")
+            _logger.debug(
+                "cluster_dropped", severity=self.severity, reads_lost=len(reads)
+            )
             return []
         faulted: list[str] = []
         source = list(reads)
@@ -242,6 +258,7 @@ class FaultInjector:
                 if read:
                     faulted.append(read)
                     self.report.reads_duplicated += 1
+                    self._record("read_duplication")
                 else:  # a fully truncated read cannot be duplicated
                     break
         while spec.contaminant_rate and rng.random() < spec.contaminant_rate:
@@ -252,6 +269,7 @@ class FaultInjector:
             )
             faulted.append(random_strand(length, rng))
             self.report.contaminants_added += 1
+            self._record("contaminant")
         return faulted
 
     def _truncate(self, read: str) -> str:
@@ -264,6 +282,7 @@ class FaultInjector:
         if keep >= len(read):
             return read
         self.report.reads_truncated += 1
+        self._record("read_truncation")
         # Nanopore truncation loses the tail; synthesis truncation the
         # head.  Both occur; pick per event.
         return read[:keep] if self.rng.random() < 0.5 else read[-keep:]
@@ -279,18 +298,23 @@ class FaultInjector:
         breakpoint_ = self.rng.randrange(1, len(read) + 1)
         tail_start = min(len(partner), breakpoint_)
         self.report.chimeras_formed += 1
+        self._record("chimera")
         return read[:breakpoint_] + partner[tail_start:]
 
     def _corrupt(self, read: str) -> str:
         rate = self.spec.pool_corruption
         rng = self.rng
         out = list(read)
+        corrupted = 0
         for position, base in enumerate(out):
             if rng.random() < rate:
                 out[position] = rng.choice(
                     [other for other in BASES if other != base]
                 )
-                self.report.bases_corrupted += 1
+                corrupted += 1
+        if corrupted:
+            self.report.bases_corrupted += corrupted
+            self._record("pool_corruption", corrupted)
         return "".join(out)
 
     # ---------------------------------------------------------------- #
