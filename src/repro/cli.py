@@ -31,9 +31,10 @@ from repro.core.coverage import ConstantCoverage
 from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.parallel import set_default_workers
 from repro.core.simulator import Simulator
-from repro.data.io import read_pool, read_references, write_pool
-from repro.data.nanopore import make_nanopore_dataset
+from repro.data.io import PoolWriter, iter_pool, read_pool, read_references, write_pool
+from repro.data.nanopore import iter_nanopore_clusters, make_nanopore_dataset
 from repro.exceptions import ConfigError, ReproError
+from repro.sharding.plan import set_default_shards
 from repro.metrics.accuracy import evaluate_reconstruction
 from repro.reconstruct.base import Reconstructor
 from repro.reconstruct.bma import BMALookahead
@@ -53,6 +54,7 @@ RECONSTRUCTORS: dict[str, type] = {
 }
 
 EXPERIMENTS = (
+    "fullscale",
     "table_1_1",
     "table_2_1",
     "table_2_2",
@@ -86,6 +88,26 @@ def _make_reconstructor(name: str) -> Reconstructor:
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
+    if args.stream:
+        # Shard-by-shard generation written straight to disk: peak memory
+        # is bounded by the shards in flight, so the paper's full
+        # 10k x 110 / ~270k-read scale fits on any machine.  Streamed
+        # datasets use per-cluster derived seeds (identical at any
+        # --shards/--workers; different draws than the serial generator).
+        with PoolWriter(args.output) as writer:
+            writer.write_all(
+                iter_nanopore_clusters(
+                    n_clusters=args.clusters,
+                    strand_length=args.length,
+                    mean_coverage=args.coverage,
+                    seed=args.seed,
+                )
+            )
+        print(
+            f"wrote {writer.n_clusters} clusters / {writer.n_copies} noisy "
+            f"copies to {args.output} (streamed)"
+        )
+        return 0
     pool = make_nanopore_dataset(
         n_clusters=args.clusters,
         strand_length=args.length,
@@ -101,6 +123,28 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.stream:
+        profile = ErrorProfile.from_clusters(
+            iter_pool(args.dataset), max_copies_per_cluster=args.max_copies
+        )
+        statistics = profile.statistics
+        rates = statistics.aggregate_rates()
+        print(f"dataset: {args.dataset} (streamed)")
+        print(
+            f"aggregate error rate: "
+            f"{statistics.aggregate_error_rate() * 100:.2f}%"
+        )
+        print(
+            "rates: "
+            + "  ".join(
+                f"{kind}={value * 100:.3f}%" for kind, value in rates.items()
+            )
+        )
+        print(
+            f"long deletions: p={statistics.long_deletion_rate() * 100:.3f}%  "
+            f"mean length={statistics.mean_long_deletion_length():.2f}"
+        )
+        return 0
     pool = read_pool(args.dataset)
     profile = ErrorProfile.from_pool(
         pool, max_copies_per_cluster=args.max_copies
@@ -145,6 +189,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         references = read_references(args.references)
     else:
         references = training.references
+    if args.stream:
+        if not args.parallel_seeds:
+            raise ConfigError(
+                "--stream requires --parallel-seeds: streamed generation "
+                "partitions clusters into shards, which needs per-cluster "
+                "RNG streams (the default serial stream cannot be split)"
+            )
+        with PoolWriter(args.output) as writer:
+            writer.write_all(simulator.iter_shards(references))
+        print(
+            f"simulated {writer.n_clusters} clusters at coverage "
+            f"{args.coverage} ({stage.value} stage) -> {args.output} "
+            "(streamed)"
+        )
+        return 0
     pool = simulator.simulate(references)
     write_pool(pool, args.output)
     print(
@@ -232,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default: serial)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition per-cluster stages into N deterministic shards "
+        "(bounded memory at paper scale; merged results are identical "
+        "at any shard count; overrides REPRO_SHARDS; default: 1)",
+    )
+    parser.add_argument(
         "--align-backend",
         default=None,
         metavar="NAME",
@@ -275,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--length", type=int, default=110)
     dataset.add_argument("--coverage", type=float, default=26.97)
     dataset.add_argument("--seed", type=int, default=0)
+    dataset.add_argument(
+        "--stream",
+        action="store_true",
+        help="generate shard by shard and write clusters to disk as they "
+        "are produced (bounded memory; per-cluster seeds, so the drawn "
+        "noise differs from the default serial stream)",
+    )
     dataset.set_defaults(handler=_cmd_dataset)
 
     profile = commands.add_parser(
@@ -282,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("dataset", help="input evyat file")
     profile.add_argument("--max-copies", type=int, default=4)
+    profile.add_argument(
+        "--stream",
+        action="store_true",
+        help="profile the dataset as a cluster stream instead of "
+        "materialising it (bounded memory; identical statistics)",
+    )
     profile.set_defaults(handler=_cmd_profile)
 
     generate = commands.add_parser(
@@ -304,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="derive one RNG stream per cluster from (seed, index) so "
         "simulation can run on --workers processes; changes the drawn "
         "noise relative to the default serial stream",
+    )
+    generate.add_argument(
+        "--stream",
+        action="store_true",
+        help="simulate shard by shard and write clusters to disk as they "
+        "are produced (bounded memory; requires --parallel-seeds)",
     )
     generate.set_defaults(handler=_cmd_generate)
 
@@ -408,6 +495,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             # inherits it.
             try:
                 set_default_workers(args.workers)
+            except ValueError as error:
+                raise ConfigError(str(error)) from error
+        if args.shards is not None:
+            # Same propagation story as --workers: stages resolve the
+            # shard default internally, so experiments and pipelines pick
+            # up the requested partitioning without new plumbing.
+            try:
+                set_default_shards(args.shards)
             except ValueError as error:
                 raise ConfigError(str(error)) from error
         if args.align_backend is not None:

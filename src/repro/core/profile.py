@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Iterable
 from dataclasses import dataclass
 from enum import Enum
 
@@ -38,6 +39,7 @@ from repro.core.spatial import HistogramSpatial, SpatialDistribution, UniformSpa
 from repro.core.strand import Cluster, StrandPool
 from repro.observability import counter, span
 from repro.parallel import chunk_items, parallel_map, resolve_workers
+from repro.sharding.plan import ShardPlan, batched, resolve_shards
 
 
 #: How many positions at each end are scanned for excess terminal error
@@ -147,14 +149,20 @@ class ErrorProfile:
         rng: random.Random | None = None,
         workers: int | None = None,
         chunk_size: int | None = None,
+        shards: int | None = None,
     ) -> "ErrorProfile":
         """Profile a dataset by aligning every copy to its reference.
 
         Per-cluster tallies are independent and additive, so with
         ``workers > 1`` clusters are profiled on a process pool and the
         per-chunk statistics merged in order — bit-identical to the
-        serial fit.  A caller-supplied ``rng`` (random tie-breaking whose
-        draw order is serial by definition) forces the serial path.
+        serial fit.  With ``shards > 1`` the pool is partitioned by a
+        stable hash of each reference (:meth:`ShardPlan.by_id
+        <repro.sharding.ShardPlan.by_id>`) and each shard becomes one
+        pool task — still bit-identical, because the tallies are pure
+        integer counts and addition commutes.  A caller-supplied ``rng``
+        (random tie-breaking whose draw order is serial by definition)
+        forces the serial path.
 
         Args:
             pool: pseudo-clustered dataset to measure.
@@ -165,18 +173,31 @@ class ErrorProfile:
             workers: worker processes (None -> ``REPRO_WORKERS``/CLI
                 default; 0 -> all cores; <= 1 -> serial).
             chunk_size: clusters per pool task (default ~4 chunks per
-                worker).
+                worker; ignored when ``shards > 1`` — shards are the
+                chunks).
+            shards: shard count (None -> ``REPRO_SHARDS``/CLI default;
+                1 -> the worker-chunked or serial path).
         """
         effective_workers = resolve_workers(workers)
+        n_shards = resolve_shards(shards)
         with span(
-            "profile_fit", clusters=len(pool), workers=effective_workers
+            "profile_fit",
+            clusters=len(pool),
+            workers=effective_workers,
+            shards=n_shards,
         ):
             counter("profile.clusters").inc(len(pool))
-            if rng is not None or effective_workers <= 1:
+            if rng is not None or (effective_workers <= 1 and n_shards <= 1):
                 statistics = ErrorStatistics()
                 statistics.tally_pool(pool, max_copies_per_cluster, rng)
                 return cls(statistics)
-            chunks = chunk_items(pool.clusters, effective_workers, chunk_size)
+            if n_shards > 1:
+                plan = ShardPlan.by_id(pool.references, n_shards)
+                chunks = [
+                    chunk for chunk in plan.split(pool.clusters) if chunk
+                ]
+            else:
+                chunks = chunk_items(pool.clusters, effective_workers, chunk_size)
             partials = parallel_map(
                 partial(
                     _tally_cluster_chunk, max_copies_per_cluster, align_backend()
@@ -189,6 +210,51 @@ class ErrorProfile:
             for part in partials:
                 statistics.merge(part)
             return cls(statistics)
+
+    @classmethod
+    def from_clusters(
+        cls,
+        clusters: "Iterable[Cluster]",
+        max_copies_per_cluster: int | None = None,
+        workers: int | None = None,
+        batch_size: int = 512,
+    ) -> "ErrorProfile":
+        """Profile a *stream* of clusters in bounded memory.
+
+        The streaming counterpart of :meth:`from_pool` for sources that
+        must never be materialised whole — :func:`repro.data.io.iter_pool`
+        over a paper-scale evyat file, or a generator of simulated
+        clusters.  Batches of ``batch_size`` clusters are tallied (on the
+        process pool when ``workers > 1``) and merged as they arrive, so
+        peak memory is one batch per worker.  Bit-identical to
+        :meth:`from_pool` over the materialised equivalent.
+        """
+        effective_workers = resolve_workers(workers)
+        statistics = ErrorStatistics()
+        n_clusters = 0
+        with span("profile_fit_stream", workers=effective_workers):
+            for wave in batched(
+                clusters, batch_size * max(1, effective_workers)
+            ):
+                n_clusters += len(wave)
+                chunks = [
+                    wave[start : start + batch_size]
+                    for start in range(0, len(wave), batch_size)
+                ]
+                partials = parallel_map(
+                    partial(
+                        _tally_cluster_chunk,
+                        max_copies_per_cluster,
+                        align_backend(),
+                    ),
+                    chunks,
+                    workers=effective_workers,
+                    chunk_size=1,
+                )
+                for part in partials:
+                    statistics.merge(part)
+            counter("profile.clusters").inc(n_clusters)
+        return cls(statistics)
 
     # ---------------------------------------------------------------- #
     # Stage models

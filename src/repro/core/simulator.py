@@ -22,7 +22,7 @@ accuracy compared against the real data's (Section 3.1, metric 4).
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from functools import partial
 
 from repro.core.alphabet import random_strand
@@ -31,8 +31,10 @@ from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile, SimulatorStage
 from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import ConfigError
 from repro.observability import counter, span
 from repro.parallel import chunk_items, derive_seed, parallel_map, resolve_workers
+from repro.sharding.plan import ShardPlan, batched, resolve_shards
 
 
 class Simulator:
@@ -90,16 +92,28 @@ class Simulator:
         references: Sequence[str],
         workers: int | None = None,
         chunk_size: int | None = None,
+        shards: int | None = None,
     ) -> StrandPool:
         """Transmit every reference; returns a pseudo-clustered pool.
 
         The default simulator draws every random variate from one serial
         stream — that exact draw order is a compatibility contract, so
-        ``workers`` is ignored unless the simulator was constructed with
-        ``per_cluster_seeds=True``.  In that mode each cluster owns an
-        RNG derived from ``(seed, cluster_index)`` and clusters can be
-        transmitted on a process pool, bit-identical at any worker count.
+        ``workers`` (and the global shard default) is ignored unless the
+        simulator was constructed with ``per_cluster_seeds=True``.  In
+        that mode each cluster owns an RNG derived from
+        ``(seed, cluster_index)`` and clusters can be transmitted on a
+        process pool, bit-identical at any worker or shard count.
+
+        Raises:
+            ConfigError: ``shards > 1`` requested explicitly without
+                ``per_cluster_seeds`` — the serial stream cannot be
+                partitioned without changing its draws.
         """
+        if shards is not None and shards > 1 and not self.per_cluster_seeds:
+            raise ConfigError(
+                "sharded simulation requires per_cluster_seeds=True "
+                "(the default serial RNG stream cannot be partitioned)"
+            )
         with span(
             "simulate",
             clusters=len(references),
@@ -111,6 +125,54 @@ class Simulator:
             return self._simulate_seeded(
                 references, self.coverage, workers, chunk_size
             )
+
+    def iter_shards(
+        self,
+        references: Sequence[str],
+        shards: int | None = None,
+        workers: int | None = None,
+    ) -> "Iterator[Cluster]":
+        """Stream simulated clusters shard by shard, in reference order.
+
+        The bounded-memory counterpart of :meth:`simulate` for
+        paper-scale generation (``dnasim generate --stream``): clusters
+        are produced in contiguous shards (at most ``workers`` shards in
+        flight) and yielded in the original reference order at any shard
+        count, so they can be written straight to disk through
+        :class:`repro.data.io.PoolWriter`.  The yielded clusters are
+        identical to :meth:`simulate`'s at any shard and worker count.
+
+        Requires ``per_cluster_seeds=True``: each cluster's noise comes
+        from its own ``(seed, index)``-derived stream, which is what
+        makes partitioned generation deterministic.
+
+        Raises:
+            ConfigError: when the simulator draws from the serial stream.
+        """
+        if not self.per_cluster_seeds:
+            raise ConfigError(
+                "streamed simulation requires per_cluster_seeds=True "
+                "(the default serial RNG stream cannot be partitioned)"
+            )
+        coverage_rng = random.Random(derive_seed(self.seed, -1))
+        coverages = self.coverage.draw(len(references), coverage_rng)
+        plan = ShardPlan.contiguous(len(references), resolve_shards(shards))
+        per_shard = plan.split(
+            list(zip(range(len(references)), references, coverages))
+        )
+        effective_workers = resolve_workers(workers)
+        with span(
+            "simulate_stream", clusters=len(references), shards=plan.n_shards
+        ):
+            counter("simulate.clusters").inc(len(references))
+            for wave in batched(per_shard, max(1, effective_workers)):
+                for shard_clusters in parallel_map(
+                    partial(_transmit_chunk, self.model, self.seed),
+                    wave,
+                    workers=effective_workers,
+                    chunk_size=1,
+                ):
+                    yield from shard_clusters
 
     def _simulate_seeded(
         self,

@@ -18,6 +18,7 @@ writes.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.core.alphabet import AlphabetError, validate_strand
@@ -40,20 +41,67 @@ def _validated(
         ) from error
 
 
+class PoolWriter:
+    """Streaming evyat writer: clusters go to disk as they arrive.
+
+    The sharded pipeline's streaming paths (``dnasim dataset --stream``,
+    ``dnasim generate --stream``) produce clusters shard by shard;
+    writing each one immediately keeps peak memory bounded by a single
+    shard instead of the whole archive.  The byte stream is identical to
+    :func:`write_pool` over the same clusters in the same order, so a
+    streamed file round-trips through :func:`read_pool` exactly like a
+    materialised one.
+
+    Use as a context manager::
+
+        with PoolWriter(path) as writer:
+            for cluster in clusters:
+                writer.write_cluster(cluster)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._handle = open(path, "w", encoding="ascii")
+        self._first = True
+        self.n_clusters = 0
+        self.n_copies = 0
+
+    def write_cluster(self, cluster: Cluster) -> None:
+        """Append one cluster to the file."""
+        lines = [cluster.reference, CLUSTER_SEPARATOR, *cluster.copies, "", ""]
+        prefix = "" if self._first else "\n"
+        self._handle.write(prefix + "\n".join(lines))
+        self._first = False
+        self.n_clusters += 1
+        self.n_copies += cluster.coverage
+
+    def write_all(self, clusters: Iterable[Cluster]) -> None:
+        """Append every cluster of an iterable (consumed lazily)."""
+        for cluster in clusters:
+            self.write_cluster(cluster)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "PoolWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 def write_pool(pool: StrandPool, path: str | Path) -> None:
     """Write a pseudo-clustered pool in evyat format."""
-    lines: list[str] = []
-    for cluster in pool:
-        lines.append(cluster.reference)
-        lines.append(CLUSTER_SEPARATOR)
-        lines.extend(cluster.copies)
-        lines.append("")
-        lines.append("")
-    Path(path).write_text("\n".join(lines), encoding="ascii")
+    with PoolWriter(path) as writer:
+        writer.write_all(pool)
 
 
-def read_pool(path: str | Path) -> StrandPool:
-    """Read a pseudo-clustered pool from an evyat-format file.
+def iter_pool(path: str | Path) -> Iterator[Cluster]:
+    """Stream clusters from an evyat-format file, one at a time.
+
+    The streaming counterpart of :func:`read_pool`: at most one cluster
+    is in memory, so a paper-scale read pool (10,000 clusters, ~270k
+    reads) can be profiled or re-clustered in bounded memory.  Yields
+    the same clusters in the same order as :func:`read_pool`.
 
     Trailing whitespace and variable blank-line runs between clusters are
     tolerated; structural damage is not.
@@ -63,51 +111,64 @@ def read_pool(path: str | Path) -> StrandPool:
             separator, invalid bases), with ``file:line:`` context.
     """
     path = Path(path)
-    text = path.read_text(encoding="ascii")
-    clusters: list[Cluster] = []
     reference: str | None = None
     copies: list[str] = []
     expecting_separator = False
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.strip()
-        if not line:
-            if reference is not None and not expecting_separator:
-                clusters.append(Cluster(reference, copies))
-                reference = None
-                copies = []
-            continue
-        is_separator = set(line) == {"*"}
-        if reference is None:
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                if reference is not None and not expecting_separator:
+                    yield Cluster(reference, copies)
+                    reference = None
+                    copies = []
+                continue
+            is_separator = set(line) == {"*"}
+            if reference is None:
+                if is_separator:
+                    raise DataFormatError(
+                        f"{path}:{line_number}: separator with no reference "
+                        "strand before it"
+                    )
+                reference = _validated(
+                    line, path, line_number, "reference strand"
+                )
+                expecting_separator = True
+                continue
+            if expecting_separator:
+                if not is_separator:
+                    raise DataFormatError(
+                        f"{path}:{line_number}: expected a separator of '*' "
+                        f"after reference, got {line[:20]!r}"
+                    )
+                expecting_separator = False
+                continue
             if is_separator:
                 raise DataFormatError(
-                    f"{path}:{line_number}: separator with no reference "
-                    "strand before it"
+                    f"{path}:{line_number}: duplicate cluster separator "
+                    "(cluster header repeated, or blank lines between "
+                    "clusters missing)"
                 )
-            reference = _validated(line, path, line_number, "reference strand")
-            expecting_separator = True
-            continue
-        if expecting_separator:
-            if not is_separator:
-                raise DataFormatError(
-                    f"{path}:{line_number}: expected a separator of '*' "
-                    f"after reference, got {line[:20]!r}"
-                )
-            expecting_separator = False
-            continue
-        if is_separator:
-            raise DataFormatError(
-                f"{path}:{line_number}: duplicate cluster separator "
-                "(cluster header repeated, or blank lines between "
-                "clusters missing)"
-            )
-        copies.append(_validated(line, path, line_number, "copy strand"))
+            copies.append(_validated(line, path, line_number, "copy strand"))
     if reference is not None:
         if expecting_separator:
             raise DataFormatError(
                 f"{path}: file ends after a reference with no separator"
             )
-        clusters.append(Cluster(reference, copies))
-    return StrandPool(clusters)
+        yield Cluster(reference, copies)
+
+
+def read_pool(path: str | Path) -> StrandPool:
+    """Read a pseudo-clustered pool from an evyat-format file.
+
+    Materialises the whole pool; use :func:`iter_pool` to stream
+    clusters in bounded memory instead.
+
+    Raises:
+        DataFormatError: on malformed files (missing or duplicate
+            separator, invalid bases), with ``file:line:`` context.
+    """
+    return StrandPool(list(iter_pool(path)))
 
 
 def write_references(references: list[str], path: str | Path) -> None:

@@ -22,7 +22,9 @@ constants.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.alphabet import random_strand
 from repro.core.channel import Channel
@@ -39,7 +41,9 @@ from repro.core.errors import (
     transition_biased_substitution_matrix,
 )
 from repro.core.spatial import TerminalSkew, UniformSpatial
-from repro.core.strand import StrandPool
+from repro.core.strand import Cluster, StrandPool
+from repro.parallel import derive_seed, parallel_map, resolve_workers
+from repro.sharding.plan import ShardPlan, batched, resolve_shards
 
 #: Statistics of the real dataset, as reported in Section 3.2.
 PAPER_N_CLUSTERS = 10_000
@@ -161,3 +165,117 @@ def make_nanopore_dataset(
     else:
         coverage_model = ground_truth_coverage(mean_coverage, parameters)
     return channel.transmit_pool(references, coverage_model)
+
+
+def _generate_cluster_chunk(
+    model: ErrorModel,
+    seed: int,
+    reference_base: int,
+    strand_length: int,
+    chunk: list[tuple[int, int]],
+) -> list[Cluster]:
+    """Worker task for sharded dataset generation.
+
+    Builds every cluster of a chunk of ``(cluster_index, coverage)``
+    items as a pure function of the item: the reference comes from a
+    stream derived from ``(reference_base, index)`` and the channel noise
+    from ``(seed, index)`` (the same per-cluster convention as
+    ``Simulator(per_cluster_seeds=True)``), so the output is identical at
+    any shard and worker count.
+    """
+    channel = Channel(model)
+    clusters: list[Cluster] = []
+    for cluster_index, coverage in chunk:
+        reference = random_strand(
+            strand_length, random.Random(derive_seed(reference_base, cluster_index))
+        )
+        channel.rng = random.Random(derive_seed(seed, cluster_index))
+        clusters.append(channel.transmit_cluster(reference, coverage))
+    return clusters
+
+
+def iter_nanopore_clusters(
+    n_clusters: int = 1_000,
+    strand_length: int = PAPER_STRAND_LENGTH,
+    mean_coverage: float = PAPER_MEAN_COVERAGE,
+    seed: int = 0,
+    parameters: NanoporeParameters | None = None,
+    constant_coverage: int | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
+) -> Iterator[Cluster]:
+    """Stream a Nanopore-like dataset shard by shard, in index order.
+
+    The streaming counterpart of :func:`make_nanopore_dataset` for
+    paper-scale generation: at most ``workers`` shards of clusters are in
+    memory at once instead of the whole pool, so 10,000 clusters /
+    ~270k reads can be written straight to disk in bounded memory.
+
+    Unlike the serial generator, randomness is derived **per cluster**
+    from ``(seed, index)`` (references from a separate derived stream,
+    coverages drawn upfront in index order), so the stream is identical
+    at any shard and worker count — but *not* to
+    :func:`make_nanopore_dataset` with the same seed, which consumes one
+    serial stream whose draw order is a compatibility contract.
+
+    Args:
+        shards: contiguous shards to split generation into (``None`` ->
+            ``REPRO_SHARDS``/CLI default); the unit of both parallelism
+            and peak memory.
+        workers: worker processes per shard wave (``None`` ->
+            ``REPRO_WORKERS``/CLI default).
+    """
+    model = ground_truth_model(parameters)
+    if constant_coverage is not None:
+        coverage_model: CoverageModel = ConstantCoverage(constant_coverage)
+    else:
+        coverage_model = ground_truth_coverage(mean_coverage, parameters)
+    coverage_rng = random.Random(derive_seed(seed, -1))
+    coverages = coverage_model.draw(n_clusters, coverage_rng)
+    reference_base = derive_seed(seed, -2)
+    plan = ShardPlan.contiguous(n_clusters, resolve_shards(shards))
+    items = list(enumerate(coverages))
+    per_shard = plan.split(items)
+    generate = partial(
+        _generate_cluster_chunk, model, seed, reference_base, strand_length
+    )
+    # Waves of `workers` shards: enough in flight to keep the pool busy,
+    # few enough that peak memory stays bounded by a wave, not the pool.
+    effective_workers = resolve_workers(workers)
+    for wave in batched(per_shard, max(1, effective_workers)):
+        for shard_clusters in parallel_map(
+            generate, wave, workers=effective_workers, chunk_size=1
+        ):
+            yield from shard_clusters
+
+
+def make_sharded_nanopore_dataset(
+    n_clusters: int = 1_000,
+    strand_length: int = PAPER_STRAND_LENGTH,
+    mean_coverage: float = PAPER_MEAN_COVERAGE,
+    seed: int = 0,
+    parameters: NanoporeParameters | None = None,
+    constant_coverage: int | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
+) -> StrandPool:
+    """Materialised convenience over :func:`iter_nanopore_clusters`.
+
+    Same per-cluster-seeded dataset as the streaming generator (identical
+    at any shard/worker count); use the generator itself when the pool
+    should never exist in memory at once.
+    """
+    return StrandPool(
+        list(
+            iter_nanopore_clusters(
+                n_clusters=n_clusters,
+                strand_length=strand_length,
+                mean_coverage=mean_coverage,
+                seed=seed,
+                parameters=parameters,
+                constant_coverage=constant_coverage,
+                shards=shards,
+                workers=workers,
+            )
+        )
+    )

@@ -23,6 +23,72 @@ from repro.core.strand import StrandPool
 from repro.reconstruct.base import Reconstructor
 
 
+@dataclass
+class AccuracyTally:
+    """Mergeable accuracy counts — the sharded counterpart of
+    :class:`AccuracyReport`.
+
+    Both paper metrics are ratios of pure counts, so per-shard tallies
+    merge associatively into exactly the counts a single pass over the
+    whole pool would produce — the property the sharded pipeline
+    (:mod:`repro.sharding`) relies on to score shard by shard without
+    ever holding every estimate at once.
+    """
+
+    n_clusters: int = 0
+    n_perfect: int = 0
+    total_characters: int = 0
+    correct_characters: int = 0
+
+    def update(self, reference: str, estimate: str) -> None:
+        """Tally one (reference, estimate) pair."""
+        self.n_clusters += 1
+        if reference == estimate:
+            self.n_perfect += 1
+        self.total_characters += len(reference)
+        shared = min(len(reference), len(estimate))
+        self.correct_characters += sum(
+            1
+            for position in range(shared)
+            if reference[position] == estimate[position]
+        )
+
+    def update_many(
+        self, references: Sequence[str], estimates: Sequence[str]
+    ) -> None:
+        """Tally every pair; lengths must match."""
+        if len(references) != len(estimates):
+            raise ValueError(
+                f"{len(references)} references but {len(estimates)} estimates"
+            )
+        for reference, estimate in zip(references, estimates):
+            self.update(reference, estimate)
+
+    def merge(self, other: "AccuracyTally") -> None:
+        """Fold another tally into this one (pure count addition)."""
+        self.n_clusters += other.n_clusters
+        self.n_perfect += other.n_perfect
+        self.total_characters += other.total_characters
+        self.correct_characters += other.correct_characters
+
+    def report(self) -> "AccuracyReport":
+        """The percentages the paper's tables report, from the counts."""
+        per_strand = (
+            100.0 * self.n_perfect / self.n_clusters if self.n_clusters else 0.0
+        )
+        per_character = (
+            100.0 * self.correct_characters / self.total_characters
+            if self.total_characters
+            else 0.0
+        )
+        return AccuracyReport(
+            per_strand=per_strand,
+            per_character=per_character,
+            n_clusters=self.n_clusters,
+            n_perfect=self.n_perfect,
+        )
+
+
 @dataclass(frozen=True)
 class AccuracyReport:
     """Accuracy of one reconstruction run over a pool.
@@ -127,15 +193,6 @@ def evaluate_reconstruction(
             raise ValueError("cannot infer strand length from an empty pool")
         strand_length = len(pool.clusters[0].reference)
     estimates = reconstructor.reconstruct_pool(pool, strand_length)
-    references = pool.references
-    perfect = sum(
-        1
-        for reference, estimate in zip(references, estimates)
-        if reference == estimate
-    )
-    return AccuracyReport(
-        per_strand=per_strand_accuracy(references, estimates),
-        per_character=per_character_accuracy(references, estimates),
-        n_clusters=len(pool),
-        n_perfect=perfect,
-    )
+    tally = AccuracyTally()
+    tally.update_many(pool.references, estimates)
+    return tally.report()

@@ -187,12 +187,62 @@ class FountainDecoder:
                     still_pending.append((unresolved, payload))
             self._pending = still_pending
 
+    def _eliminate(self) -> None:
+        """Gaussian elimination over GF(2) on the stalled equations.
+
+        Peeling only ever resolves degree-one droplets, so a droplet set
+        whose minimum unresolved degree is two stalls the decoder even
+        when the underlying XOR system is full rank — common at small
+        chunk counts, where no degree-one droplet may be drawn at all.
+        This fallback row-reduces the pending equations (each droplet is
+        one XOR equation over the chunk unknowns), recovers every chunk
+        the system determines, and hands back to peeling for the rest.
+        """
+        pivots: dict[int, tuple[int, bytes]] = {}
+        for neighbours, payload in self._pending:
+            mask = 0
+            for index in neighbours:
+                if index in self._recovered:
+                    payload = xor_bytes(payload, self._recovered[index])
+                else:
+                    mask |= 1 << index
+            # Reduce against existing pivot rows; each pivot row's other
+            # bits are strictly above its pivot, so reduction terminates.
+            while mask:
+                low = (mask & -mask).bit_length() - 1
+                if low not in pivots:
+                    pivots[low] = (mask, payload)
+                    break
+                pivot_mask, pivot_payload = pivots[low]
+                mask ^= pivot_mask
+                payload = xor_bytes(payload, pivot_payload)
+        # Back-substitute from the highest pivot down: a pivot row only
+        # references chunks above its pivot, which are either already
+        # recovered here or genuinely free (underdetermined system).
+        for index in sorted(pivots, reverse=True):
+            mask, payload = pivots[index]
+            others = mask & ~(1 << index)
+            resolved = True
+            while others:
+                other = (others & -others).bit_length() - 1
+                others &= others - 1
+                if other in self._recovered:
+                    payload = xor_bytes(payload, self._recovered[other])
+                else:
+                    resolved = False
+                    break
+            if resolved:
+                self._recovered[index] = payload
+        self._peel()
+
     def data(self) -> bytes:
         """The concatenated source chunks.
 
         Raises:
             FountainDecodeError: if decoding is incomplete.
         """
+        if not self.is_complete:
+            self._eliminate()
         if not self.is_complete:
             missing = self.n_chunks - len(self._recovered)
             raise FountainDecodeError(

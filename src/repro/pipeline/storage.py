@@ -36,12 +36,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.core.channel import Channel
 from repro.core.coverage import ConstantCoverage, CoverageModel
 from repro.core.errors import ErrorModel
 from repro.exceptions import ConfigError, EncodeError, RetrievalError
 from repro.observability import counter, get_logger, span
+from repro.parallel import derive_seed, parallel_map
+from repro.sharding.plan import ShardPlan, resolve_shards
 from repro.pipeline.decay import StorageDecay
 from repro.pipeline.encoding import Basic2BitCodec, Codec
 from repro.pipeline.primers import generate_primer_library
@@ -63,6 +66,46 @@ _logger = get_logger("repro.pipeline.storage")
 
 class ArchiveError(RetrievalError):
     """Raised when a file cannot be recovered from the pool."""
+
+
+def _survey_chunk(
+    channel_model: ErrorModel | None,
+    reconstructor: Reconstructor,
+    strand_length: int,
+    survey_seed: int,
+    chunk: list[tuple[int, str | None, int]],
+) -> list[tuple[str | None, str | None, int]]:
+    """Worker task for the sharded survey: sequence and reconstruct one
+    shard of ``(position, strand, coverage)`` items.
+
+    Each strand's reads are drawn from ``random.Random(derive_seed(
+    survey_seed, position))`` — a pure function of the item, so the
+    survey is identical at any shard and worker count.  Returns
+    ``(estimate, failure_reason, n_reads)`` per item; exactly one of
+    estimate/failure is set.
+    """
+    channel = Channel(channel_model) if channel_model is not None else None
+    results: list[tuple[str | None, str | None, int]] = []
+    for position, strand, n_copies in chunk:
+        if strand is None:
+            results.append((None, "strand lost before sequencing (decay)", 0))
+            continue
+        if n_copies == 0:
+            results.append((None, "zero sequencing coverage drawn", 0))
+            continue
+        if channel is None:
+            reads = [strand] * n_copies
+        else:
+            channel.rng = random.Random(derive_seed(survey_seed, position))
+            reads = channel.transmit_many(strand, n_copies)
+        estimate = reconstructor.reconstruct(reads, strand_length)
+        if not estimate:
+            results.append(
+                (None, "reconstruction produced no estimate", len(reads))
+            )
+            continue
+        results.append((estimate, None, len(reads)))
+    return results
 
 
 @dataclass
@@ -288,6 +331,82 @@ class DNAArchive:
         failures.update(parse_failures)
         return _Survey(payload_by_index, failures, n_reads, n_clusters_used)
 
+    def _survey_sharded(
+        self,
+        stored: StoredFile,
+        strands: list[str | None],
+        channel_model: ErrorModel | None,
+        coverages: list[int],
+        reconstructor: Reconstructor,
+        n_shards: int,
+        workers: int | None,
+    ) -> _Survey:
+        """The sharded sequencing pass: strands are partitioned by a
+        stable hash of their content, each shard sequenced and
+        reconstructed as one pool task, and the per-strand estimates
+        scattered back for parsing.
+
+        Each strand's channel noise comes from a stream derived from
+        ``(survey seed, position)``, where the survey seed itself is one
+        draw from the archive's serial RNG — successive reads still
+        differ, but within a survey the reads are a pure function of the
+        strand, so the result is identical at every shard and worker
+        count.  (The serial :meth:`_survey` consumes one sequential
+        stream instead, so sharded and serial surveys draw *different*
+        noise of the same distribution.)
+        """
+        survey_seed = self.rng.getrandbits(64)
+        plan = ShardPlan.by_id(
+            [
+                strand if strand is not None else f"lost:{position}"
+                for position, strand in enumerate(strands)
+            ],
+            n_shards,
+        )
+        items = list(zip(range(len(strands)), strands, coverages))
+        per_shard = parallel_map(
+            partial(
+                _survey_chunk,
+                channel_model,
+                reconstructor,
+                stored.layout.strand_length(),
+                survey_seed,
+            ),
+            plan.split(items),
+            workers=workers,
+            chunk_size=1,
+        )
+        estimates = plan.scatter(per_shard)
+
+        payload_by_index: dict[int, bytes] = {}
+        failures: dict[int, str] = {}
+        n_reads = 0
+        n_clusters_used = 0
+        parse_failures: dict[int, str] = {}
+        for position, (estimate, failure, strand_reads) in enumerate(estimates):
+            n_reads += strand_reads
+            if strand_reads:
+                n_clusters_used += 1
+            if failure is not None:
+                failures[position] = failure
+                continue
+            try:
+                index, payload = stored.layout.parse(estimate)
+            except StrandParseError as error:
+                failures[position] = f"parse failed: {error}"
+                continue
+            if 0 <= index < stored.n_total_strands:
+                payload_by_index.setdefault(index, payload)
+            else:
+                failures[position] = f"parsed index {index} out of range"
+        for index in range(stored.n_total_strands):
+            if index in payload_by_index:
+                failures.pop(index, None)
+            elif index not in failures:
+                parse_failures[index] = "no read parsed to this index"
+        failures.update(parse_failures)
+        return _Survey(payload_by_index, failures, n_reads, n_clusters_used)
+
     def read(
         self,
         key: str,
@@ -297,6 +416,8 @@ class DNAArchive:
         decay: StorageDecay | None = None,
         storage_years: float = 0.0,
         faults: FaultInjector | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
     ) -> RetrievalReport:
         """Retrieve a file through the full noisy pipeline (one attempt).
 
@@ -311,6 +432,16 @@ class DNAArchive:
             storage_years: archival time for the decay model.
             faults: optional fault injector applied to the sequenced
                 reads (dropped clusters, truncation, contamination, ...).
+            shards: shard count for the sequencing+reconstruction pass
+                (None -> ``REPRO_SHARDS``/CLI default).  With
+                ``shards > 1`` strands are partitioned by a stable hash
+                of their content and surveyed shard by shard with
+                per-strand derived RNG streams — deterministic and
+                identical at any shard/worker count, but drawing
+                different (same-distribution) noise than the serial
+                single-stream survey.  Fault injection consumes a serial
+                stream, so ``faults`` forces the serial path.
+            workers: pool workers for the sharded pass.
 
         Raises:
             KeyError: unknown key.
@@ -327,9 +458,21 @@ class DNAArchive:
         )
         reconstructor = reconstructor or BMALookahead()
         coverages = coverage_model.draw(len(strands), self.rng)
-        survey = self._survey(
-            stored, strands, channel_model, coverages, reconstructor, faults
-        )
+        n_shards = resolve_shards(shards)
+        if n_shards > 1 and faults is None:
+            survey = self._survey_sharded(
+                stored,
+                strands,
+                channel_model,
+                coverages,
+                reconstructor,
+                n_shards,
+                workers,
+            )
+        else:
+            survey = self._survey(
+                stored, strands, channel_model, coverages, reconstructor, faults
+            )
         data, n_erasures, n_corrected = self._decode_groups(
             stored, survey.payload_by_index
         )

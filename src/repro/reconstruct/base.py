@@ -17,6 +17,7 @@ from functools import partial
 from repro.core.strand import Cluster, StrandPool
 from repro.observability import counter, span
 from repro.parallel import parallel_map
+from repro.sharding.plan import ShardPlan, resolve_shards
 
 
 class Reconstructor(ABC):
@@ -45,15 +46,20 @@ class Reconstructor(ABC):
         strand_length: int,
         workers: int | None = None,
         chunk_size: int | None = None,
+        shards: int | None = None,
     ) -> list[str]:
         """Reconstruct every cluster of a pool, in order.
 
         Reconstruction is deterministic per cluster, so with
         ``workers > 1`` clusters are distributed over a process pool and
         the estimates merged back in pool order — bit-identical to the
-        serial pass.  Defined here at the base-class level so every
-        algorithm (BMA, Divider BMA, Iterative, ...) inherits the
-        parallel path.
+        serial pass.  With ``shards > 1`` the pool is partitioned by a
+        stable hash of each reference and each shard becomes one pool
+        task, with per-shard estimates scattered back to pool order
+        (:meth:`ShardPlan.scatter <repro.sharding.ShardPlan.scatter>`) —
+        also bit-identical.  Defined here at the base-class level so
+        every algorithm (BMA, Divider BMA, Iterative, ...) inherits both
+        paths.
 
         Args:
             pool: the clusters to reconstruct.
@@ -61,10 +67,26 @@ class Reconstructor(ABC):
             workers: worker processes (None -> ``REPRO_WORKERS``/CLI
                 default; 0 -> all cores; <= 1 -> serial).
             chunk_size: clusters per pool task (default ~4 chunks per
-                worker).
+                worker; ignored when ``shards > 1``).
+            shards: shard count (None -> ``REPRO_SHARDS``/CLI default).
         """
-        with span("reconstruct", algorithm=self.name, clusters=len(pool)):
+        n_shards = resolve_shards(shards)
+        with span(
+            "reconstruct",
+            algorithm=self.name,
+            clusters=len(pool),
+            shards=n_shards,
+        ):
             counter("reconstruct.clusters", algorithm=self.name).inc(len(pool))
+            if n_shards > 1:
+                plan = ShardPlan.by_id(pool.references, n_shards)
+                per_shard = parallel_map(
+                    partial(_reconstruct_chunk, self, strand_length),
+                    plan.split([cluster.copies for cluster in pool]),
+                    workers=workers,
+                    chunk_size=1,
+                )
+                return plan.scatter(per_shard)
             return parallel_map(
                 partial(_reconstruct_copies, self, strand_length),
                 [cluster.copies for cluster in pool],
@@ -78,6 +100,18 @@ def _reconstruct_copies(
 ) -> str:
     """Worker task for the parallel pool pass: reconstruct one cluster."""
     return reconstructor.reconstruct(copies, strand_length)
+
+
+def _reconstruct_chunk(
+    reconstructor: "Reconstructor",
+    strand_length: int,
+    copies_lists: list[list[str]],
+) -> list[str]:
+    """Worker task for the sharded pool pass: reconstruct one shard."""
+    return [
+        reconstructor.reconstruct(copies, strand_length)
+        for copies in copies_lists
+    ]
 
 
 def majority_symbol(symbols: Sequence[str]) -> str:

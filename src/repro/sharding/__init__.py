@@ -1,0 +1,60 @@
+"""Sharded, streaming execution of the pipeline at paper scale.
+
+The paper's evaluation dataset is 10,000 strands of length 110 with
+~270k noisy reads; materialising the whole archive, read pool, and every
+stage's intermediate state at once is what kept the experiments at small
+default scales.  This package closes that gap:
+
+* :mod:`repro.sharding.plan` — deterministic shard assignment (stable
+  BLAKE2b hash of strand id + seed, or order-preserving contiguous
+  ranges) with ``split``/``scatter`` round-trips, plus the
+  ``REPRO_SHARDS``/``--shards`` default resolution;
+* :mod:`repro.sharding.runner` — the full-scale pipeline: per-shard
+  generate → profile → reconstruct → score workers on
+  :func:`repro.parallel.parallel_map`, merged with the associative
+  merge machinery (:meth:`ErrorStatistics.merge
+  <repro.analysis.error_stats.ErrorStatistics.merge>`,
+  :meth:`AccuracyTally.merge
+  <repro.metrics.accuracy.AccuracyTally.merge>`) so peak memory is
+  bounded by one shard, not the archive.
+
+Single-shard execution (the default) is bit-identical to the
+pre-sharding code path everywhere.
+"""
+
+from repro.sharding.plan import (
+    SHARDS_ENV,
+    ShardPlan,
+    batched,
+    default_shards,
+    resolve_shards,
+    set_default_shards,
+    shard_of,
+)
+
+#: Runner symbols resolved lazily (PEP 562): the runner pulls in the
+#: reconstruction stack, and every stage module imports this package for
+#: plan machinery alone — eager re-export would make that import heavy
+#: and circular.
+_RUNNER_EXPORTS = ("FullScaleResult", "run_fullscale")
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.sharding import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "SHARDS_ENV",
+    "ShardPlan",
+    "batched",
+    "default_shards",
+    "resolve_shards",
+    "set_default_shards",
+    "shard_of",
+    "FullScaleResult",
+    "run_fullscale",
+]

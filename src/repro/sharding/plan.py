@@ -1,0 +1,230 @@
+"""Deterministic shard planning: who owns which cluster, and why.
+
+A *shard* is a deterministic subset of an archive's clusters small
+enough to simulate, profile, reconstruct, and score in memory.  Two
+partitioning modes cover every pipeline stage:
+
+* :meth:`ShardPlan.by_id` — **stable-hash** assignment: a cluster's
+  shard is a BLAKE2b hash of its strand id (the reference strand) mixed
+  with the plan seed.  Assignment depends only on the cluster's identity,
+  never on its position in the pool, so re-ordering an archive or
+  loading it from a differently-ordered file lands every cluster in the
+  same shard.  Used for shard-wise stage execution over an existing
+  pool (profile fitting, reconstruction, curve accumulation,
+  clustering, archive surveys).
+* :meth:`ShardPlan.contiguous` — order-preserving ranges, used where
+  the *output order* matters (streaming a generated dataset to disk in
+  original index order, independent of the shard count).
+
+In both modes every per-cluster stage result is keyed by the cluster's
+original index, and merged either by scatter (estimates) or by the
+associative merge machinery (:meth:`ErrorStatistics.merge
+<repro.analysis.error_stats.ErrorStatistics.merge>`,
+:func:`~repro.metrics.curves.merge_curves`,
+:meth:`~repro.metrics.accuracy.AccuracyTally.merge`) — so the shard
+count never changes merged results, only the peak memory and the unit
+of parallel work.
+
+The default shard count resolves like the worker count does: the
+``REPRO_SHARDS`` environment variable (default 1 — today's unsharded
+path, bit for bit), overridden per process by the CLI's ``--shards``
+flag via :func:`set_default_shards`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.observability import get_logger
+
+Item = TypeVar("Item")
+
+_logger = get_logger("repro.sharding")
+
+#: Environment variable naming the default shard count (1 = unsharded).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Process-wide override installed by the CLI's ``--shards`` flag.
+_default_shards_override: int | None = None
+
+#: Malformed ``REPRO_SHARDS`` values already warned about (one warning
+#: per distinct bad value, mirroring the worker-count resolver).
+_warned_shard_values: set[str] = set()
+
+
+def set_default_shards(shards: int | None) -> None:
+    """Install (or clear, with ``None``) a process-wide shard default.
+
+    The CLI's ``--shards`` flag calls this so every shardable stage a
+    subcommand touches inherits the requested partitioning without
+    threading the value through each call site.
+    """
+    global _default_shards_override
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    _default_shards_override = shards
+
+
+def default_shards() -> int:
+    """The shard count used when a stage is called with ``shards=None``.
+
+    Resolution order: :func:`set_default_shards` override, then the
+    ``REPRO_SHARDS`` environment variable, then 1 (unsharded — exactly
+    the pre-sharding code path).
+    """
+    if _default_shards_override is not None:
+        return _default_shards_override
+    raw = os.environ.get(SHARDS_ENV, "1")
+    try:
+        shards = int(raw)
+    except ValueError:
+        if raw not in _warned_shard_values:
+            _warned_shard_values.add(raw)
+            _logger.warning(
+                "invalid_shards_env", variable=SHARDS_ENV, value=raw, fallback=1
+            )
+        return 1
+    return shards if shards >= 1 else 1
+
+
+def resolve_shards(shards: int | None) -> int:
+    """Normalise a ``shards`` argument: ``None`` -> default, floor 1."""
+    if shards is None:
+        return default_shards()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def shard_of(strand_id: str, seed: int, n_shards: int) -> int:
+    """The shard owning ``strand_id`` under ``seed``, out of ``n_shards``.
+
+    A stable 64-bit BLAKE2b hash of ``seed`` and the id — platform- and
+    process-independent (unlike ``hash``), and uncorrelated across
+    adjacent seeds (unlike a linear mix), so shard populations stay
+    balanced and reproducible everywhere.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.blake2b(
+        f"{seed}|{strand_id}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``n_items`` clusters into shards.
+
+    Attributes:
+        n_shards: number of shards (some may be empty in hash mode).
+        seed: the hash seed (0 for contiguous plans).
+        indices: per-shard tuples of original item indices.  Every index
+            in ``range(n_items)`` appears exactly once across all shards.
+    """
+
+    n_shards: int
+    seed: int
+    indices: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def by_id(
+        cls, ids: Sequence[str], n_shards: int, seed: int = 0
+    ) -> "ShardPlan":
+        """Stable-hash plan: item ``i`` goes to ``shard_of(ids[i], seed)``.
+
+        Assignment depends only on each item's id, so the same strand
+        lands in the same shard no matter how the pool is ordered.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        buckets: list[list[int]] = [[] for _ in range(n_shards)]
+        for index, item_id in enumerate(ids):
+            buckets[shard_of(item_id, seed, n_shards)].append(index)
+        return cls(n_shards, seed, tuple(tuple(bucket) for bucket in buckets))
+
+    @classmethod
+    def contiguous(cls, n_items: int, n_shards: int) -> "ShardPlan":
+        """Order-preserving plan: near-equal contiguous index ranges.
+
+        Concatenating the shards restores ``range(n_items)`` exactly, so
+        a stream written shard by shard keeps the original item order at
+        any shard count.
+        """
+        if n_items < 0:
+            raise ValueError(f"n_items must be non-negative, got {n_items}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        size = -(-n_items // n_shards) if n_items else 0
+        buckets = []
+        for shard in range(n_shards):
+            start = shard * size
+            buckets.append(tuple(range(start, min(start + size, n_items))))
+        return cls(n_shards, 0, tuple(buckets))
+
+    @property
+    def n_items(self) -> int:
+        return sum(len(bucket) for bucket in self.indices)
+
+    def shard_sizes(self) -> list[int]:
+        """Items per shard (diagnostic; hash shards are near-balanced)."""
+        return [len(bucket) for bucket in self.indices]
+
+    def split(self, items: Sequence[Item]) -> list[list[Item]]:
+        """Partition ``items`` into per-shard lists, in shard order.
+
+        Raises:
+            ValueError: if ``items`` does not match the planned count.
+        """
+        if len(items) != self.n_items:
+            raise ValueError(
+                f"plan covers {self.n_items} items but {len(items)} given"
+            )
+        return [[items[index] for index in bucket] for bucket in self.indices]
+
+    def scatter(self, per_shard: Sequence[Sequence[Item]]) -> list[Item]:
+        """Reassemble per-shard results into original item order.
+
+        The inverse of :meth:`split`: ``plan.scatter(plan.split(items))
+        == list(items)`` for every plan.
+
+        Raises:
+            ValueError: if the per-shard shapes do not match the plan.
+        """
+        if len(per_shard) != self.n_shards:
+            raise ValueError(
+                f"plan has {self.n_shards} shards but {len(per_shard)} "
+                "result lists given"
+            )
+        gathered: list[Item | None] = [None] * self.n_items
+        for bucket, results in zip(self.indices, per_shard):
+            if len(bucket) != len(results):
+                raise ValueError(
+                    f"shard of {len(bucket)} items produced "
+                    f"{len(results)} results"
+                )
+            for index, result in zip(bucket, results):
+                gathered[index] = result
+        return gathered  # type: ignore[return-value]
+
+
+def batched(items: Iterable[Item], batch_size: int) -> Iterator[list[Item]]:
+    """Yield ``items`` in lists of at most ``batch_size``, preserving
+    order — the streaming counterpart of
+    :func:`repro.parallel.chunk_items` for sources that must never be
+    materialised whole (a 270k-read evyat file, a generator of simulated
+    clusters)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch: list[Item] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -1,0 +1,277 @@
+"""The full-scale sharded pipeline: generate → profile → reconstruct → score.
+
+The paper's evaluation scale (10,000 strands × 110 bases, ~270k noisy
+reads) never fits comfortably through the materialise-everything
+experiment path: the pool alone is hundreds of megabytes of strings, and
+every stage holds its own per-cluster intermediates on top.  This runner
+executes the whole pipeline **shard by shard**: each shard worker
+generates its clusters from derived per-cluster seeds, tallies error
+statistics, reconstructs, and scores — returning only the mergeable
+summaries (an :class:`~repro.analysis.error_stats.ErrorStatistics`, one
+:class:`~repro.metrics.accuracy.AccuracyTally` per algorithm, and a few
+counts).  The parent folds shard results together with the associative
+merge machinery, so peak memory is bounded by the shards in flight, not
+the archive, and the merged numbers are identical at every shard and
+worker count.
+
+Observability rides along: each shard runs under a ``fullscale.shard``
+span and bumps ``fullscale.*`` counters, shipped home from pool workers
+by :func:`repro.parallel.parallel_map` when collection is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.align.kernels import align_backend, set_align_backend
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.alphabet import random_strand
+from repro.core.channel import Channel
+from repro.core.errors import ErrorModel
+from repro.core.strand import Cluster, StrandPool
+from repro.exceptions import ConfigError
+from repro.metrics.accuracy import AccuracyReport, AccuracyTally
+from repro.observability import counter, span
+from repro.parallel import derive_seed, parallel_map, resolve_workers
+from repro.reconstruct.base import Reconstructor
+from repro.reconstruct.bma import BMALookahead
+from repro.reconstruct.divider_bma import DividerBMA
+from repro.reconstruct.iterative import IterativeReconstruction
+from repro.reconstruct.majority import PositionalMajority
+from repro.sharding.plan import ShardPlan, resolve_shards
+
+#: Algorithms the full-scale runner can score, by CLI name.  Positional
+#: majority is the default: at paper coverage (~27 copies per cluster)
+#: it is both the fastest algorithm and highly accurate, which keeps the
+#: full-scale wall time dominated by simulation rather than scoring.
+RECONSTRUCTORS: dict[str, type[Reconstructor]] = {
+    "majority": PositionalMajority,
+    "bma": BMALookahead,
+    "divbma": DividerBMA,
+    "iterative": IterativeReconstruction,
+}
+
+
+@dataclass(frozen=True)
+class _ShardConfig:
+    """Everything a shard worker needs, picklable once per run."""
+
+    model: ErrorModel
+    seed: int
+    reference_base: int
+    strand_length: int
+    max_copies: int | None
+    algorithms: tuple[str, ...]
+    backend: str
+
+
+@dataclass
+class FullScaleResult:
+    """Merged outcome of a sharded full-scale run.
+
+    Every field is derived from associatively merged per-shard summaries,
+    so it is independent of the shard and worker counts used to compute
+    it.
+    """
+
+    n_clusters: int
+    strand_length: int
+    n_shards: int
+    workers: int
+    n_reads: int
+    n_erasures: int
+    mean_coverage: float
+    aggregate_error_rate: float
+    accuracy: dict[str, AccuracyReport]
+    shard_sizes: list[int] = field(default_factory=list)
+    statistics: ErrorStatistics | None = None
+
+    def summary(self) -> dict:
+        """JSON-ready summary (what the bench record embeds)."""
+        return {
+            "n_clusters": self.n_clusters,
+            "strand_length": self.strand_length,
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+            "n_reads": self.n_reads,
+            "n_erasures": self.n_erasures,
+            "mean_coverage": round(self.mean_coverage, 4),
+            "aggregate_error_rate": round(self.aggregate_error_rate, 6),
+            "accuracy": {
+                name: {
+                    "per_strand": round(report.per_strand, 4),
+                    "per_character": round(report.per_character, 4),
+                }
+                for name, report in self.accuracy.items()
+            },
+        }
+
+
+def _run_shard(
+    config: _ShardConfig, item: tuple[int, list[tuple[int, int]]]
+) -> tuple[ErrorStatistics, dict[str, AccuracyTally], int]:
+    """One shard of the full pipeline, start to finish.
+
+    ``item`` is ``(shard_index, [(cluster_index, coverage), ...])``.
+    Each cluster is a pure function of its index (reference from the
+    derived reference stream, noise from ``(seed, index)``), so shard
+    results — and therefore the merged run — are identical at any
+    partitioning.  Only the mergeable summaries leave the worker; the
+    shard's clusters die with it, which is the whole memory story.
+    """
+    shard_index, chunk = item
+    set_align_backend(config.backend)
+    with span(
+        "fullscale.shard", shard=shard_index, clusters=len(chunk)
+    ) as shard_span:
+        channel = Channel(config.model)
+        clusters: list[Cluster] = []
+        n_reads = 0
+        for cluster_index, coverage in chunk:
+            reference = random_strand(
+                config.strand_length,
+                random.Random(derive_seed(config.reference_base, cluster_index)),
+            )
+            channel.rng = random.Random(derive_seed(config.seed, cluster_index))
+            cluster = channel.transmit_cluster(reference, coverage)
+            clusters.append(cluster)
+            n_reads += cluster.coverage
+        pool = StrandPool(clusters)
+        statistics = ErrorStatistics()
+        statistics.tally_pool(pool, config.max_copies)
+        tallies: dict[str, AccuracyTally] = {}
+        for name in config.algorithms:
+            reconstructor = RECONSTRUCTORS[name]()
+            estimates = reconstructor.reconstruct_pool(
+                pool, config.strand_length, workers=1
+            )
+            tally = AccuracyTally()
+            tally.update_many(pool.references, estimates)
+            tallies[name] = tally
+        counter("fullscale.reads").inc(n_reads)
+        counter("fullscale.clusters").inc(len(chunk))
+        if shard_span is not None:
+            shard_span.set(reads=n_reads)
+        return statistics, tallies, n_reads
+
+
+def run_fullscale(
+    n_clusters: int = 1_000,
+    strand_length: int | None = None,
+    mean_coverage: float | None = None,
+    seed: int = 0,
+    shards: int | None = None,
+    workers: int | None = None,
+    algorithms: tuple[str, ...] = ("majority",),
+    max_copies: int | None = 4,
+    parameters: object = None,
+    keep_statistics: bool = False,
+) -> FullScaleResult:
+    """Run the whole pipeline at (up to) paper scale in bounded memory.
+
+    Generates a per-cluster-seeded Nanopore-like dataset, profiles it,
+    reconstructs it with each requested algorithm, and scores the
+    results — all shard by shard on the process pool, merging only
+    summaries.  At the paper's 10,000 × 110 / ~270k-read scale the
+    parent process never holds more than the shards currently in flight.
+
+    Args:
+        n_clusters: dataset scale (the paper uses 10,000).
+        strand_length: reference length (default: the paper's 110).
+        mean_coverage: mean copies per cluster (default: the paper's
+            26.97, negative-binomial with explicit erasures).
+        seed: dataset seed; results are reproducible per seed.
+        shards: shard count (``None`` -> ``REPRO_SHARDS``/CLI default;
+            the result is identical at any value, only memory and
+            parallel granularity change).
+        workers: pool workers (``None`` -> ``REPRO_WORKERS``/CLI
+            default).
+        algorithms: reconstruction algorithms to score, by CLI name
+            (any of ``majority``, ``bma``, ``divbma``, ``iterative``).
+        max_copies: copies aligned per cluster when profiling.
+        parameters: optional
+            :class:`~repro.data.nanopore.NanoporeParameters` overriding
+            the paper-calibrated channel.
+        keep_statistics: retain the merged
+            :class:`~repro.analysis.error_stats.ErrorStatistics` on the
+            result (off by default — the tally holds per-position
+            histograms the caller usually only needs summarised).
+
+    Raises:
+        ConfigError: for unknown algorithm names.
+    """
+    # Imported lazily: repro.data.nanopore imports this package's plan
+    # module, so a module-level import here would be circular.
+    from repro.data.nanopore import (
+        PAPER_MEAN_COVERAGE,
+        PAPER_STRAND_LENGTH,
+        ground_truth_coverage,
+        ground_truth_model,
+    )
+
+    for name in algorithms:
+        if name not in RECONSTRUCTORS:
+            raise ConfigError(
+                f"unknown algorithm {name!r}; choose from "
+                f"{sorted(RECONSTRUCTORS)}"
+            )
+    if strand_length is None:
+        strand_length = PAPER_STRAND_LENGTH
+    if mean_coverage is None:
+        mean_coverage = PAPER_MEAN_COVERAGE
+    n_shards = resolve_shards(shards)
+    effective_workers = resolve_workers(workers)
+
+    model = ground_truth_model(parameters)
+    coverage_model = ground_truth_coverage(mean_coverage, parameters)
+    coverage_rng = random.Random(derive_seed(seed, -1))
+    coverages = coverage_model.draw(n_clusters, coverage_rng)
+
+    plan = ShardPlan.contiguous(n_clusters, n_shards)
+    per_shard = plan.split(list(enumerate(coverages)))
+    config = _ShardConfig(
+        model=model,
+        seed=seed,
+        reference_base=derive_seed(seed, -2),
+        strand_length=strand_length,
+        max_copies=max_copies,
+        algorithms=tuple(algorithms),
+        backend=align_backend(),
+    )
+    with span(
+        "fullscale",
+        clusters=n_clusters,
+        shards=n_shards,
+        workers=effective_workers,
+    ):
+        shard_results = parallel_map(
+            partial(_run_shard, config),
+            list(enumerate(per_shard)),
+            workers=effective_workers,
+            chunk_size=1,
+        )
+    statistics = ErrorStatistics()
+    tallies: dict[str, AccuracyTally] = {
+        name: AccuracyTally() for name in algorithms
+    }
+    n_reads = 0
+    for shard_statistics, shard_tallies, shard_reads in shard_results:
+        statistics.merge(shard_statistics)
+        for name, tally in shard_tallies.items():
+            tallies[name].merge(tally)
+        n_reads += shard_reads
+    return FullScaleResult(
+        n_clusters=n_clusters,
+        strand_length=strand_length,
+        n_shards=n_shards,
+        workers=effective_workers,
+        n_reads=n_reads,
+        n_erasures=sum(1 for coverage in coverages if coverage == 0),
+        mean_coverage=n_reads / n_clusters if n_clusters else 0.0,
+        aggregate_error_rate=statistics.aggregate_error_rate(),
+        accuracy={name: tally.report() for name, tally in tallies.items()},
+        shard_sizes=plan.shard_sizes(),
+        statistics=statistics if keep_statistics else None,
+    )

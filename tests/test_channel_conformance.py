@@ -1,0 +1,396 @@
+"""Statistical conformance tests: the channel vs the paper's Section 3.2/3.3.
+
+Each test generates data through the ground-truth Nanopore channel with a
+fixed seed, *measures* it the way the paper does (maximum-likelihood edit
+operations, :class:`ErrorStatistics`), and checks the measured statistic
+against the paper's reported value:
+
+* conditional substitution matrix — transitions (T<->C, A<->G) dominate
+  transversions (~0.4 vs ~0.01 in the paper's Table; chi-square);
+* negative-binomial coverage — mean ~26.97, KS distance to the NB CDF,
+  and the explicit 16/10,000 empty-cluster rate;
+* aggregate IDS error rate ~5.9%;
+* terminal skew — errors at the strand end ~2x the start;
+* long-deletion run lengths — 84 / 13 / 1.8 / 0.2 / 0.02 % for 2..6.
+
+All statistics are hand-rolled (``math.lgamma``; no scipy) so the suite
+runs in any CI environment.  Tolerances are documented inline next to the
+critical value they encode.  Negative controls perturb channel parameters
+2x and assert the same statistic then FAILS its threshold — guarding
+against tolerances so loose the tests could never catch a regression.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+import pytest
+
+from repro.analysis.error_stats import ErrorStatistics
+from repro.core.alphabet import TRANSITION, random_strand
+from repro.core.channel import Channel
+from repro.core.coverage import (
+    ConstantCoverage,
+    ErasureCoverage,
+    NegativeBinomialCoverage,
+)
+from repro.data.nanopore import (
+    PAPER_AGGREGATE_ERROR,
+    PAPER_ERASURE_COUNT,
+    PAPER_MEAN_COVERAGE,
+    PAPER_N_CLUSTERS,
+    PAPER_STRAND_LENGTH,
+    NanoporeParameters,
+    ground_truth_model,
+)
+from repro.core.errors import PAPER_LONG_DELETION_LENGTHS
+
+#: Every draw in this module descends from this seed — the suite is
+#: fully deterministic, in CI and everywhere else.
+MAIN_SEED = 4242
+
+#: Chi-square critical values at p = 0.999 (upper tail).  A conforming
+#: channel's statistic concentrates near its degrees of freedom, so
+#: these bounds give < 0.1% flake probability while the 2x-perturbed
+#: negative controls overshoot them by an order of magnitude.
+CHI2_CRITICAL = {2: 13.816, 4: 18.467, 8: 26.124}
+
+
+# --------------------------------------------------------------------- #
+# Hand-rolled statistics
+# --------------------------------------------------------------------- #
+
+
+def chi_square(observed: dict, expected: dict[object, float]) -> float:
+    """Pearson chi-square statistic over the keys of ``expected``."""
+    statistic = 0.0
+    for key, expected_count in expected.items():
+        if expected_count <= 0:
+            continue
+        deviation = observed.get(key, 0) - expected_count
+        statistic += deviation * deviation / expected_count
+    return statistic
+
+
+def negative_binomial_cdf(
+    mean: float, dispersion: float, max_value: int
+) -> list[float]:
+    """CDF table of NB(mean, dispersion) on 0..max_value via ``lgamma``.
+
+    PMF(k) = Gamma(k + r) / (Gamma(r) k!) * p^r * (1 - p)^k with
+    r = dispersion and p = r / (r + mean) — the same Gamma-Poisson
+    mixture :class:`NegativeBinomialCoverage` samples from.
+    """
+    r = dispersion
+    p = r / (r + mean)
+    log_p, log_q = math.log(p), math.log(1.0 - p)
+    cdf, cumulative = [], 0.0
+    for k in range(max_value + 1):
+        log_pmf = (
+            math.lgamma(k + r)
+            - math.lgamma(r)
+            - math.lgamma(k + 1)
+            + r * log_p
+            + k * log_q
+        )
+        cumulative += math.exp(log_pmf)
+        cdf.append(min(cumulative, 1.0))
+    return cdf
+
+
+def ks_distance(samples: Sequence[int], cdf: Callable[[int], float]) -> float:
+    """sup_k |empirical CDF - theoretical CDF| over the sample support."""
+    n = len(samples)
+    counts = Counter(samples)
+    cumulative = 0
+    distance = 0.0
+    for value in sorted(counts):
+        cumulative += counts[value]
+        distance = max(distance, abs(cumulative / n - cdf(value)))
+    return distance
+
+
+# --------------------------------------------------------------------- #
+# Measured channel statistics (generate -> align -> tally, as the
+# paper's profiler does)
+# --------------------------------------------------------------------- #
+
+
+def measure_channel(
+    parameters: NanoporeParameters | None = None,
+    n_references: int = 150,
+    coverage: int = 6,
+    seed: int = MAIN_SEED,
+) -> ErrorStatistics:
+    """Transmit random strands through the ground-truth channel and tally
+    maximum-likelihood edit operations — the measurement loop every
+    conformance test below reads from."""
+    model = ground_truth_model(parameters)
+    reference_rng = random.Random(seed)
+    channel = Channel(model, random.Random(seed + 1))
+    alignment_rng = random.Random(seed + 2)
+    statistics = ErrorStatistics()
+    for _ in range(n_references):
+        reference = random_strand(PAPER_STRAND_LENGTH, reference_rng)
+        for copy in channel.transmit_many(reference, coverage):
+            statistics.tally_pair(reference, copy, alignment_rng)
+    return statistics
+
+
+@pytest.fixture(scope="module")
+def measured() -> ErrorStatistics:
+    """Statistics of the calibrated channel (900 transmissions, ~99k
+    base opportunities — every aggregate below has expected counts well
+    into chi-square territory)."""
+    return measure_channel()
+
+
+@pytest.fixture(scope="module")
+def measured_2x() -> ErrorStatistics:
+    """Negative control: every IDS rate doubled (the perturbation the
+    suite must detect)."""
+    doubled = NanoporeParameters(
+        substitution_rate=2 * NanoporeParameters.substitution_rate,
+        deletion_rate=2 * NanoporeParameters.deletion_rate,
+        insertion_rate=2 * NanoporeParameters.insertion_rate,
+        long_deletion_rate=2 * NanoporeParameters.long_deletion_rate,
+    )
+    return measure_channel(doubled, n_references=100, coverage=4)
+
+
+# --------------------------------------------------------------------- #
+# Conditional substitution matrix (Section 2.1 / 3.3.1)
+# --------------------------------------------------------------------- #
+
+
+class TestSubstitutionMatrix:
+    def test_transitions_dominate_every_row(self, measured):
+        """Paper: P(T->C), P(A->G) ~ 0.4 while other combinations sit
+        near 0.01 — i.e. the transition partner takes the bulk of each
+        row's substitution mass."""
+        matrix = measured.substitution_matrix()
+        for original, row in matrix.items():
+            partner = TRANSITION[original]
+            # Calibrated transition share is 0.8 (plus second-order mass
+            # on T and A); 0.6 passes all seeds with a wide margin while
+            # a uniform matrix (1/3 per cell) fails decisively.
+            assert row[partner] > 0.6, (original, row)
+            for base, probability in row.items():
+                if base != partner:
+                    assert probability < 0.2, (original, row)
+
+    #: Chi-square bound for the measured substitution rows.  The pure
+    #: sampling critical value is chi2(df=4, 0.999) = 18.5, but ML
+    #: re-alignment systematically misattributes a small fraction of
+    #: substitutions (observed statistics 4-20 across seeds), so the
+    #: bound doubles the worst conforming observation.  The 2x-perturbed
+    #: negative control scores ~520 — an order of magnitude above.
+    MATRIX_CHI2_BOUND = 40.0
+
+    def test_chi_square_against_calibrated_matrix(self, measured):
+        """Chi-square of the G and C rows (the rows without second-order
+        substitution mass) against the calibrated 0.8/0.1/0.1 split."""
+        statistic = self._rows_chi_square(measured)
+        assert statistic < self.MATRIX_CHI2_BOUND, statistic
+
+    def test_negative_control_halved_transition_bias_fails(self):
+        """2x-perturbed transition bias (0.8 -> 0.4) must blow past the
+        same chi-square threshold — the test can actually fail."""
+        perturbed = measure_channel(
+            NanoporeParameters(transition_probability=0.4),
+            n_references=100,
+            coverage=4,
+        )
+        statistic = self._rows_chi_square(perturbed)
+        assert statistic > self.MATRIX_CHI2_BOUND, statistic
+
+    @staticmethod
+    def _rows_chi_square(statistics: ErrorStatistics) -> float:
+        transition_probability = NanoporeParameters.transition_probability
+        statistic = 0.0
+        for original in ("G", "C"):
+            partner = TRANSITION[original]
+            observed = {
+                replacement: statistics.substitution_pairs[(original, replacement)]
+                for replacement in "ACGT"
+                if replacement != original
+            }
+            total = sum(observed.values())
+            expected = {
+                replacement: total
+                * (
+                    transition_probability
+                    if replacement == partner
+                    else (1.0 - transition_probability) / 2.0
+                )
+                for replacement in observed
+            }
+            statistic += chi_square(observed, expected)
+        return statistic
+
+
+# --------------------------------------------------------------------- #
+# Negative-binomial coverage (Section 2.1 / 3.2)
+# --------------------------------------------------------------------- #
+
+
+class TestCoverageConformance:
+    N_DRAWS = 20_000
+
+    def _draws(self, dispersion: float = 4.0, seed: int = MAIN_SEED) -> list[int]:
+        model = NegativeBinomialCoverage(PAPER_MEAN_COVERAGE, dispersion)
+        return model.draw(self.N_DRAWS, random.Random(seed))
+
+    def test_mean_matches_paper(self):
+        draws = self._draws()
+        mean = sum(draws) / len(draws)
+        # Standard error of the mean is ~0.10 at 20k draws (NB variance
+        # ~209); +-0.5 is a 5-sigma band around the paper's 26.97.
+        assert abs(mean - PAPER_MEAN_COVERAGE) < 0.5, mean
+
+    def test_ks_distance_to_negative_binomial_cdf(self):
+        draws = self._draws()
+        cdf = negative_binomial_cdf(
+            PAPER_MEAN_COVERAGE, 4.0, max_value=max(draws)
+        )
+        distance = ks_distance(draws, lambda value: cdf[value])
+        # Asymptotic KS critical value at alpha = 0.001 is
+        # 1.95 / sqrt(n) ~ 0.0138; 0.02 adds margin (the discrete-CDF
+        # statistic is conservative).  The sampler is exactly the NB's
+        # Gamma-Poisson mixture, so the observed distance sits ~0.005.
+        assert distance < 0.02, distance
+
+    def test_negative_control_halved_dispersion_fails_ks(self):
+        """2x heavier over-dispersion (4.0 -> 2.0) must be distinguishable
+        from the calibrated distribution by the same KS test."""
+        draws = self._draws(dispersion=2.0)
+        cdf = negative_binomial_cdf(
+            PAPER_MEAN_COVERAGE, 4.0, max_value=max(draws)
+        )
+        distance = ks_distance(draws, lambda value: cdf[value])
+        assert distance > 0.02, distance
+
+    def test_empty_cluster_rate_is_explicit(self):
+        """The paper's dataset lost 16 of 10,000 clusters; the erasure
+        wrapper must reproduce that rate on top of any inner model."""
+        erasure_probability = PAPER_ERASURE_COUNT / PAPER_N_CLUSTERS
+        model = ErasureCoverage(ConstantCoverage(10), erasure_probability)
+        n = 50_000
+        draws = model.draw(n, random.Random(MAIN_SEED))
+        observed_rate = sum(1 for value in draws if value == 0) / n
+        # Binomial standard error at p = 0.0016, n = 50k is ~0.00018;
+        # +-0.0009 is a 5-sigma band.
+        assert abs(observed_rate - erasure_probability) < 0.0009, observed_rate
+
+
+# --------------------------------------------------------------------- #
+# Aggregate IDS error rate (Section 3.2: ~5.9%)
+# --------------------------------------------------------------------- #
+
+
+class TestAggregateErrorRate:
+    #: Measured-vs-paper tolerance.  ML re-alignment slightly compresses
+    #: the true error count (canonicalisation merges adjacent ops), so
+    #: the measured aggregate sits ~0.058 against the paper's 0.059;
+    #: +-0.010 absorbs that bias plus sampling noise at ~99k
+    #: opportunities while still failing decisively at 2x rates (~0.11).
+    TOLERANCE = 0.010
+
+    def test_aggregate_error_rate_matches_paper(self, measured):
+        rate = measured.aggregate_error_rate()
+        assert abs(rate - PAPER_AGGREGATE_ERROR) < self.TOLERANCE, rate
+
+    def test_negative_control_doubled_rates_fail(self, measured_2x):
+        rate = measured_2x.aggregate_error_rate()
+        assert abs(rate - PAPER_AGGREGATE_ERROR) > self.TOLERANCE, rate
+        assert rate > PAPER_AGGREGATE_ERROR
+
+    def test_error_mix_is_substitution_dominated(self, measured):
+        """Sanity on the IDS mix: substitutions are the most common
+        single-base error, as in the paper's Table of rates."""
+        rates = measured.aggregate_rates()
+        assert rates["substitution"] > rates["deletion"] > rates["insertion"]
+
+
+# --------------------------------------------------------------------- #
+# Terminal skew (Section 3.3.2: end-of-strand errors ~2x the start)
+# --------------------------------------------------------------------- #
+
+
+class TestTerminalSkew:
+    WINDOW = 10
+
+    def test_end_errors_roughly_double_start_errors(self, measured):
+        rates = measured.positional_error_rates()
+        start = sum(rates[: self.WINDOW]) / self.WINDOW
+        end = sum(rates[-self.WINDOW :]) / self.WINDOW
+        ratio = end / start
+        # The paper reports ~2x.  The window mean flattens the boost
+        # peaks (the skew decays over ~5 positions), so the measured
+        # ratio sits near 2; [1.4, 3.5] is wide enough for seed noise
+        # yet excludes both a flat channel (~1.0) and an inverted skew.
+        assert 1.4 < ratio < 3.5, ratio
+
+    def test_ends_are_noisier_than_the_middle(self, measured):
+        rates = measured.positional_error_rates()
+        middle = rates[len(rates) // 2 - 5 : len(rates) // 2 + 5]
+        middle_rate = sum(middle) / len(middle)
+        end = sum(rates[-self.WINDOW :]) / self.WINDOW
+        assert end > 1.3 * middle_rate
+
+
+# --------------------------------------------------------------------- #
+# Long-deletion run lengths (Section 3.3.1: 84/13/1.8/0.2/0.02 %)
+# --------------------------------------------------------------------- #
+
+
+class TestLongDeletionLengths:
+    N_DRAWS = 50_000
+
+    def _sampled_lengths(self, lengths: dict[int, float]) -> Counter:
+        model = ground_truth_model()
+        if lengths is not PAPER_LONG_DELETION_LENGTHS:
+            from dataclasses import replace
+
+            model = replace(model, long_deletion_lengths=lengths)
+        rng = random.Random(MAIN_SEED)
+        return Counter(
+            model.draw_long_deletion_length(rng) for _ in range(self.N_DRAWS)
+        )
+
+    def test_sampler_matches_paper_distribution(self):
+        observed = self._sampled_lengths(PAPER_LONG_DELETION_LENGTHS)
+        total_weight = sum(PAPER_LONG_DELETION_LENGTHS.values())
+        expected = {
+            length: self.N_DRAWS * weight / total_weight
+            for length, weight in PAPER_LONG_DELETION_LENGTHS.items()
+        }
+        statistic = chi_square(observed, expected)
+        # df = 5 support points - 1 = 4; see CHI2_CRITICAL.  The rarest
+        # length (6, expected ~10 draws) stays above the >=5 rule.
+        assert statistic < CHI2_CRITICAL[4], statistic
+
+    def test_negative_control_perturbed_lengths_fail(self):
+        """Shift 2x of the paper's length-2 mass onto length 3 and the
+        chi-square against the paper's distribution must explode."""
+        perturbed = dict(PAPER_LONG_DELETION_LENGTHS)
+        perturbed[2], perturbed[3] = 0.42, 0.55
+        observed = self._sampled_lengths(perturbed)
+        total_weight = sum(PAPER_LONG_DELETION_LENGTHS.values())
+        expected = {
+            length: self.N_DRAWS * weight / total_weight
+            for length, weight in PAPER_LONG_DELETION_LENGTHS.items()
+        }
+        statistic = chi_square(observed, expected)
+        assert statistic > CHI2_CRITICAL[4], statistic
+
+    def test_measured_mean_run_length_matches_paper(self, measured):
+        """End to end: runs measured from aligned reads average ~2.17
+        bases (the paper's figure).  Alignment merges adjacent single
+        deletions into runs occasionally, nudging the mean up; [1.9,
+        2.6] brackets the paper value and the measurement bias."""
+        mean_length = measured.mean_long_deletion_length()
+        assert 1.9 < mean_length < 2.6, mean_length

@@ -1,0 +1,107 @@
+"""Golden-value regression tests for the headline experiments.
+
+``tests/golden/*.json`` hold the exact outputs of ``fig_3_2`` and
+``table_2_1`` at a fixed 40-cluster scale and fixed seeds.  The tests
+assert **exact equality** — every experiment stage is deterministic end
+to end — and re-run the same experiments under forced process-pool
+parallelism and under a sharded default, proving the execution strategy
+never changes a single published number (the shard-count-invariance
+contract of DESIGN.md section 11).
+
+Regenerating the goldens after an *intentional* numeric change::
+
+    PYTHONPATH=src REPRO_CACHE_DIR=$(mktemp -d) python - <<'REGEN'
+    import json, pathlib
+    from repro.experiments import fig_3_2, table_2_1
+    from repro.experiments.common import clear_contexts
+    fig = fig_3_2.run(n_clusters=40, verbose=False)
+    clear_contexts()
+    table = table_2_1.run(n_clusters=40, verbose=False)
+    golden = pathlib.Path("tests/golden")
+    for name, payload in [("fig_3_2", fig), ("table_2_1", table)]:
+        golden.joinpath(f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    REGEN
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import fig_3_2, table_2_1
+from repro.experiments.common import clear_contexts
+from repro.sharding import set_default_shards
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The scale the goldens were recorded at.
+GOLDEN_N_CLUSTERS = 40
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+def _normalise(payload: dict) -> dict:
+    """Round-trip through JSON so tuples/lists and key types compare the
+    way the stored golden does."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+@pytest.fixture
+def private_cache(tmp_path, monkeypatch):
+    """Each test builds its context from scratch in a private cache, so
+    no artifact produced under one execution strategy can leak into the
+    next (that would make the equality vacuous)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_contexts()
+    yield
+    clear_contexts()
+
+
+def _run_experiment(runner) -> dict:
+    return _normalise(runner.run(n_clusters=GOLDEN_N_CLUSTERS, verbose=False))
+
+
+class TestSerialMatchesGolden:
+    def test_fig_3_2(self, private_cache):
+        assert _run_experiment(fig_3_2) == _load("fig_3_2")
+
+    def test_table_2_1(self, private_cache):
+        assert _run_experiment(table_2_1) == _load("table_2_1")
+
+
+class TestParallelMatchesGolden:
+    """Forced process-pool execution must reproduce the goldens exactly."""
+
+    @pytest.fixture(autouse=True)
+    def forced_parallel(self, private_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+
+    def test_fig_3_2(self):
+        assert _run_experiment(fig_3_2) == _load("fig_3_2")
+
+    def test_table_2_1(self):
+        assert _run_experiment(table_2_1) == _load("table_2_1")
+
+
+class TestShardedMatchesGolden:
+    """A sharded default (as installed by ``dnasim --shards``) must
+    reproduce the goldens bit for bit."""
+
+    @pytest.fixture(autouse=True)
+    def sharded_default(self, private_cache):
+        set_default_shards(2)
+        yield
+        set_default_shards(None)
+
+    def test_fig_3_2(self):
+        assert _run_experiment(fig_3_2) == _load("fig_3_2")
+
+    def test_table_2_1(self):
+        assert _run_experiment(table_2_1) == _load("table_2_1")

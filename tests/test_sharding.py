@@ -1,0 +1,459 @@
+"""Tests for the sharding layer: plans, streaming IO, and stage equivalence.
+
+The load-bearing invariant throughout is **shard-count invariance**: for
+every associatively-merged stage (generation, profiling, reconstruction,
+curves, accuracy), running sharded must produce results bit-identical to
+the serial path.  Greedy clustering is the documented exception (an
+approximation, asserted only for sanity), and the archive survey draws
+different same-distribution noise (asserted to recover the data, not to
+match serial bytes).
+"""
+
+from __future__ import annotations
+
+import filecmp
+import random
+
+import pytest
+
+from repro.core.coverage import ConstantCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile
+from repro.core.simulator import Simulator
+from repro.core.strand import Cluster, StrandPool
+from repro.data.io import PoolWriter, iter_pool, read_pool, write_pool
+from repro.data.nanopore import (
+    NanoporeParameters,
+    iter_nanopore_clusters,
+    make_sharded_nanopore_dataset,
+)
+from repro.exceptions import ConfigError
+from repro.metrics.accuracy import AccuracyTally
+from repro.metrics.curves import post_reconstruction_curves, pre_reconstruction_curves
+from repro.reconstruct.majority import PositionalMajority
+from repro.sharding import (
+    ShardPlan,
+    batched,
+    default_shards,
+    resolve_shards,
+    run_fullscale,
+    set_default_shards,
+    shard_of,
+)
+
+
+# --------------------------------------------------------------------- #
+# Plans
+# --------------------------------------------------------------------- #
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for n_shards in (1, 2, 7):
+            for strand in ("ACGT", "TTTT", ""):
+                shard = shard_of(strand, seed=3, n_shards=n_shards)
+                assert shard == shard_of(strand, seed=3, n_shards=n_shards)
+                assert 0 <= shard < n_shards
+
+    def test_seed_changes_assignment(self):
+        strands = [f"STRAND{i}" for i in range(64)]
+        a = [shard_of(s, seed=0, n_shards=8) for s in strands]
+        b = [shard_of(s, seed=1, n_shards=8) for s in strands]
+        assert a != b
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_of("ACGT", seed=0, n_shards=0)
+
+
+class TestShardPlan:
+    def test_by_id_split_scatter_roundtrip(self):
+        ids = [f"ID{i}" for i in range(23)]
+        plan = ShardPlan.by_id(ids, n_shards=5)
+        items = list(range(23))
+        assert plan.scatter(plan.split(items)) == items
+
+    def test_by_id_is_order_independent(self):
+        ids = [f"ID{i}" for i in range(40)]
+        plan = ShardPlan.by_id(ids, n_shards=4)
+        shuffled = list(ids)
+        random.Random(9).shuffle(shuffled)
+        shuffled_plan = ShardPlan.by_id(shuffled, n_shards=4)
+        # The same id lands in the same shard regardless of pool order.
+        by_id = {ids[i]: s for s, bucket in enumerate(plan.indices) for i in bucket}
+        by_id_shuffled = {
+            shuffled[i]: s
+            for s, bucket in enumerate(shuffled_plan.indices)
+            for i in bucket
+        }
+        assert by_id == by_id_shuffled
+
+    def test_contiguous_concatenation_restores_order(self):
+        for n_items, n_shards in [(0, 3), (7, 3), (12, 4), (5, 8)]:
+            plan = ShardPlan.contiguous(n_items, n_shards)
+            flattened = [index for bucket in plan.indices for index in bucket]
+            assert flattened == list(range(n_items))
+
+    def test_shard_sizes_sum_to_items(self):
+        plan = ShardPlan.by_id([f"ID{i}" for i in range(31)], n_shards=6)
+        assert sum(plan.shard_sizes()) == plan.n_items == 31
+
+    def test_split_rejects_wrong_length(self):
+        plan = ShardPlan.contiguous(4, 2)
+        with pytest.raises(ValueError, match="plan covers"):
+            plan.split([1, 2, 3])
+
+    def test_scatter_rejects_wrong_shapes(self):
+        plan = ShardPlan.contiguous(4, 2)
+        with pytest.raises(ValueError, match="shards"):
+            plan.scatter([[1, 2]])
+        with pytest.raises(ValueError, match="produced"):
+            plan.scatter([[1], [2, 3, 4]])
+
+
+class TestBatched:
+    def test_batches_preserve_order(self):
+        assert list(batched(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_accepts_generators(self):
+        assert list(batched((i for i in range(4)), 2)) == [[0, 1], [2, 3]]
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(batched([1], 0))
+
+
+class TestDefaultResolution:
+    def test_resolve_none_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        set_default_shards(None)
+        assert resolve_shards(None) == 1
+
+    def test_env_variable_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        set_default_shards(None)
+        assert default_shards() == 4
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        set_default_shards(2)
+        try:
+            assert resolve_shards(None) == 2
+        finally:
+            set_default_shards(None)
+
+    def test_malformed_env_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "not-a-number")
+        set_default_shards(None)
+        assert default_shards() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="shards"):
+            resolve_shards(0)
+        with pytest.raises(ValueError, match="shards"):
+            set_default_shards(0)
+
+
+# --------------------------------------------------------------------- #
+# Streaming IO
+# --------------------------------------------------------------------- #
+
+
+class TestPoolWriter:
+    def test_byte_identical_to_write_pool(self, small_pool, tmp_path):
+        whole = tmp_path / "whole.txt"
+        streamed = tmp_path / "streamed.txt"
+        write_pool(small_pool, whole)
+        with PoolWriter(streamed) as writer:
+            for cluster in small_pool:
+                writer.write_cluster(cluster)
+        assert filecmp.cmp(whole, streamed, shallow=False)
+
+    def test_counts_clusters_and_copies(self, small_pool, tmp_path):
+        with PoolWriter(tmp_path / "pool.txt") as writer:
+            writer.write_all(small_pool)
+        assert writer.n_clusters == len(small_pool)
+        assert writer.n_copies == sum(len(c.copies) for c in small_pool)
+
+    def test_iter_pool_roundtrip(self, small_pool, tmp_path):
+        path = tmp_path / "pool.txt"
+        write_pool(small_pool, path)
+        clusters = list(iter_pool(path))
+        assert [c.reference for c in clusters] == small_pool.references
+        assert [c.copies for c in clusters] == [c.copies for c in small_pool]
+
+    def test_iter_pool_matches_read_pool(self, small_pool, tmp_path):
+        path = tmp_path / "pool.txt"
+        write_pool(small_pool, path)
+        streamed = StrandPool(list(iter_pool(path)))
+        loaded = read_pool(path)
+        assert streamed.references == loaded.references
+
+    def test_iter_pool_rejects_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("ACGT\nACGA\n")
+        with pytest.raises(ValueError, match="separator"):
+            list(iter_pool(path))
+
+
+# --------------------------------------------------------------------- #
+# Sharded generation
+# --------------------------------------------------------------------- #
+
+
+class TestShardedGeneration:
+    def test_invariant_across_shard_counts(self):
+        base = make_sharded_nanopore_dataset(n_clusters=24, seed=11, shards=1)
+        for shards in (2, 5):
+            other = make_sharded_nanopore_dataset(
+                n_clusters=24, seed=11, shards=shards
+            )
+            assert other.references == base.references
+            assert [c.copies for c in other] == [c.copies for c in base]
+
+    def test_invariant_across_worker_counts(self, monkeypatch):
+        base = make_sharded_nanopore_dataset(n_clusters=16, seed=4, shards=2)
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        parallel = make_sharded_nanopore_dataset(
+            n_clusters=16, seed=4, shards=2, workers=2
+        )
+        assert parallel.references == base.references
+        assert [c.copies for c in parallel] == [c.copies for c in base]
+
+    def test_iterator_matches_materialised(self):
+        pool = make_sharded_nanopore_dataset(n_clusters=12, seed=6, shards=3)
+        streamed = list(
+            iter_nanopore_clusters(n_clusters=12, seed=6, shards=3)
+        )
+        assert [c.reference for c in streamed] == pool.references
+        assert [c.copies for c in streamed] == [c.copies for c in pool]
+
+    def test_seed_changes_data(self):
+        a = make_sharded_nanopore_dataset(n_clusters=6, seed=1, shards=2)
+        b = make_sharded_nanopore_dataset(n_clusters=6, seed=2, shards=2)
+        assert a.references != b.references
+
+
+# --------------------------------------------------------------------- #
+# Stage equivalence: serial vs sharded
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def stage_pool() -> StrandPool:
+    """A modest pool exercised by every stage-equivalence test below."""
+    return make_sharded_nanopore_dataset(n_clusters=30, seed=21, shards=1)
+
+
+class TestStageEquivalence:
+    def test_profile_fit_sharded_is_bit_identical(self, stage_pool):
+        serial = ErrorProfile.from_pool(stage_pool, max_copies_per_cluster=3)
+        sharded = ErrorProfile.from_pool(
+            stage_pool, max_copies_per_cluster=3, shards=4
+        )
+        assert sharded.statistics.pair_count == serial.statistics.pair_count
+        assert (
+            sharded.statistics.substitution_pairs
+            == serial.statistics.substitution_pairs
+        )
+        assert (
+            sharded.statistics.error_positions == serial.statistics.error_positions
+        )
+        assert (
+            sharded.statistics.long_deletion_lengths
+            == serial.statistics.long_deletion_lengths
+        )
+
+    def test_profile_fit_streaming_matches_pool(self, stage_pool):
+        whole = ErrorProfile.from_pool(stage_pool, max_copies_per_cluster=3)
+        streamed = ErrorProfile.from_clusters(
+            iter(stage_pool), max_copies_per_cluster=3, batch_size=7
+        )
+        assert (
+            streamed.statistics.substitution_pairs
+            == whole.statistics.substitution_pairs
+        )
+        assert streamed.statistics.pair_count == whole.statistics.pair_count
+
+    def test_reconstruct_pool_sharded_matches_serial(self, stage_pool):
+        reconstructor = PositionalMajority()
+        length = len(stage_pool.references[0])
+        serial = reconstructor.reconstruct_pool(stage_pool, length)
+        sharded = reconstructor.reconstruct_pool(stage_pool, length, shards=4)
+        assert sharded == serial
+
+    def test_curves_sharded_match_serial(self, stage_pool):
+        pre_serial = pre_reconstruction_curves(stage_pool)
+        pre_sharded = pre_reconstruction_curves(stage_pool, shards=3)
+        assert pre_serial == pre_sharded
+        estimates = PositionalMajority().reconstruct_pool(
+            stage_pool, len(stage_pool.references[0])
+        )
+        post_serial = post_reconstruction_curves(stage_pool, estimates)
+        post_sharded = post_reconstruction_curves(stage_pool, estimates, shards=3)
+        assert post_serial == post_sharded
+
+    def test_accuracy_tally_merge_matches_whole(self, stage_pool):
+        estimates = PositionalMajority().reconstruct_pool(
+            stage_pool, len(stage_pool.references[0])
+        )
+        whole = AccuracyTally()
+        whole.update_many(stage_pool.references, estimates)
+        left, right = AccuracyTally(), AccuracyTally()
+        half = len(estimates) // 2
+        left.update_many(stage_pool.references[:half], estimates[:half])
+        right.update_many(stage_pool.references[half:], estimates[half:])
+        left.merge(right)
+        assert left.report() == whole.report()
+
+
+# --------------------------------------------------------------------- #
+# Simulator streaming
+# --------------------------------------------------------------------- #
+
+
+class TestSimulatorShards:
+    def _simulator(self, per_cluster_seeds: bool) -> Simulator:
+        return Simulator(
+            ErrorModel.uniform(0.06),
+            ConstantCoverage(4),
+            seed=13,
+            per_cluster_seeds=per_cluster_seeds,
+        )
+
+    def test_iter_shards_matches_simulate(self):
+        references = [
+            "".join(random.Random(i).choices("ACGT", k=60)) for i in range(18)
+        ]
+        simulator = self._simulator(per_cluster_seeds=True)
+        whole = simulator.simulate(references)
+        streamed = list(
+            self._simulator(per_cluster_seeds=True).iter_shards(
+                references, shards=4
+            )
+        )
+        assert [c.reference for c in streamed] == whole.references
+        assert [c.copies for c in streamed] == [c.copies for c in whole]
+
+    def test_iter_shards_requires_per_cluster_seeds(self):
+        simulator = self._simulator(per_cluster_seeds=False)
+        with pytest.raises(ConfigError, match="per_cluster_seeds"):
+            list(simulator.iter_shards(["ACGT" * 10]))
+
+    def test_simulate_rejects_shards_without_per_cluster_seeds(self):
+        simulator = self._simulator(per_cluster_seeds=False)
+        with pytest.raises(ConfigError, match="per_cluster_seeds"):
+            simulator.simulate(["ACGT" * 10], shards=2)
+
+
+# --------------------------------------------------------------------- #
+# Greedy clustering (documented approximation)
+# --------------------------------------------------------------------- #
+
+
+class TestShardedClustering:
+    def test_sharded_sweep_recovers_well_separated_clusters(self):
+        from repro.cluster.greedy import GreedyClusterer
+
+        rng = random.Random(77)
+        references = [
+            "".join(rng.choices("ACGT", k=80)) for _ in range(10)
+        ]
+        channel_pool = Simulator(
+            ErrorModel.uniform(0.03), ConstantCoverage(5), seed=5
+        ).simulate(references)
+        reads = [copy for cluster in channel_pool for copy in cluster.copies]
+        clusterer = GreedyClusterer()
+        serial = clusterer.cluster(reads)
+        sharded = clusterer.cluster(reads, shards=3)
+        # An approximation, but on well-separated data both modes must
+        # find one cluster per reference and agree on who groups with whom.
+        assert sharded.n_clusters == serial.n_clusters == len(references)
+        serial_groups = {
+            frozenset(members) for members in serial.members if members
+        }
+        sharded_groups = {
+            frozenset(members) for members in sharded.members if members
+        }
+        assert sharded_groups == serial_groups
+
+
+# --------------------------------------------------------------------- #
+# Full-scale runner
+# --------------------------------------------------------------------- #
+
+
+class TestRunFullscale:
+    def test_shard_count_never_changes_results(self):
+        base = run_fullscale(
+            n_clusters=12, strand_length=60, seed=5, shards=1,
+            algorithms=("majority",),
+        )
+        for shards in (2, 4):
+            other = run_fullscale(
+                n_clusters=12, strand_length=60, seed=5, shards=shards,
+                algorithms=("majority",),
+            )
+            assert other.n_reads == base.n_reads
+            assert other.aggregate_error_rate == base.aggregate_error_rate
+            assert other.accuracy["majority"] == base.accuracy["majority"]
+            assert other.n_erasures == base.n_erasures
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        result = run_fullscale(
+            n_clusters=6, strand_length=40, seed=1, shards=2,
+            algorithms=("majority",),
+        )
+        summary = result.summary()
+        json.dumps(summary)  # must not raise
+        assert summary["n_clusters"] == 6
+        assert summary["n_shards"] == 2
+        assert "majority" in summary["accuracy"]
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigError, match="algorithm"):
+            run_fullscale(n_clusters=2, algorithms=("nope",))
+
+    def test_custom_parameters_flow_through(self):
+        quiet = NanoporeParameters(
+            substitution_rate=0.001,
+            deletion_rate=0.001,
+            insertion_rate=0.001,
+            long_deletion_rate=0.0,
+            burst_rate=0.0,
+        )
+        result = run_fullscale(
+            n_clusters=8, strand_length=50, seed=3, shards=2,
+            algorithms=("majority",), parameters=quiet,
+        )
+        loud = run_fullscale(
+            n_clusters=8, strand_length=50, seed=3, shards=2,
+            algorithms=("majority",),
+        )
+        assert result.aggregate_error_rate < loud.aggregate_error_rate
+
+
+# --------------------------------------------------------------------- #
+# Sharded archive read
+# --------------------------------------------------------------------- #
+
+
+class TestShardedArchive:
+    def test_sharded_read_recovers_data(self):
+        from repro.pipeline.storage import DNAArchive
+
+        gentle = ErrorModel.uniform(0.01)
+        data = b"sharded archive read-path test payload!!"
+        archive = DNAArchive(seed=23)
+        archive.write("doc", data)
+        for shards in (1, 3):
+            report = archive.read(
+                "doc", channel_model=gentle, coverage=10, shards=shards
+            )
+            assert report.data == data
