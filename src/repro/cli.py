@@ -9,7 +9,13 @@ Subcommands:
 * ``experiment``  — run one (or all) of the paper's table/figure
   reproductions;
 * ``chaos``       — sweep injected-fault severity against the archive's
-  resilient retrieval loop and report recovery rates.
+  resilient retrieval loop and report recovery rates (or, with
+  ``--kill-resume``, kill a durable job mid-shard and assert resume
+  bit-identity);
+* ``jobs``        — durable, checkpointed, resumable execution of the
+  full-scale pipeline and experiment runners
+  (``submit``/``status``/``resume``/``cancel``/``list``, with distinct
+  exit codes: 0 succeeded, 3 partial, 4 failed, 5 cancelled).
 
 All clustered files use DNASimulator's evyat text format
 (:mod:`repro.data.io`).
@@ -235,23 +241,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    if args.job_dir is not None and args.name != "fullscale":
+        raise ConfigError(
+            "--job-dir / --resume only apply to the 'fullscale' experiment"
+        )
     names = EXPERIMENTS if args.name == "all" else (args.name,)
+    exit_code = 0
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
         print(f"=== {name} ===")
         with observability.span("experiment", experiment=name):
-            if name != "table_1_1":
+            if name == "fullscale" and args.job_dir is not None:
+                summary = module.run(
+                    n_clusters=args.clusters,
+                    job_dir=args.job_dir,
+                    resume=args.resume,
+                )
+                exit_code = summary.get("job_exit_code", 0)
+            elif name != "table_1_1":
                 module.run(n_clusters=args.clusters)
             else:
                 module.run()
         print()
-    return 0
+    return exit_code
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments import chaos
     from repro.robustness import SEVERITY_LEVELS
 
+    if args.kill_resume:
+        result = chaos.run_kill_resume(
+            n_clusters=args.clusters, seed=args.seed
+        )
+        return 0 if result["bit_identical"] else 1
     severities = tuple(args.severities) if args.severities else chaos.SEVERITIES
     for severity in severities:
         if severity not in SEVERITY_LEVELS:
@@ -417,6 +440,20 @@ def build_parser() -> argparse.ArgumentParser:
         "name", choices=EXPERIMENTS + ("all",), help="experiment id"
     )
     experiment.add_argument("--clusters", type=int, default=None)
+    experiment.add_argument(
+        "--job-dir",
+        default=None,
+        metavar="DIR",
+        help="(fullscale only) run through the durable job engine, "
+        "checkpointing each shard under DIR so the run can be "
+        "interrupted and resumed",
+    )
+    experiment.add_argument(
+        "--resume",
+        action="store_true",
+        help="(fullscale only, with --job-dir) resume the journal "
+        "instead of starting a new job",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     report = commands.add_parser(
@@ -442,9 +479,236 @@ def build_parser() -> argparse.ArgumentParser:
         help="severity levels to sweep (default: the full ladder)",
     )
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--kill-resume",
+        action="store_true",
+        help="engine-level chaos mode: kill a running durable full-scale "
+        "job mid-shard (before its checkpoint lands) and assert that "
+        "resuming the journal reproduces the uninterrupted result bit "
+        "for bit",
+    )
     chaos.set_defaults(handler=_cmd_chaos)
 
+    _add_jobs_commands(commands)
+
     return parser
+
+
+def _add_jobs_commands(commands) -> None:
+    """The ``dnasim jobs`` verb group (durable job engine)."""
+    jobs = commands.add_parser(
+        "jobs",
+        help="durable, checkpointed, resumable jobs "
+        "(submit/status/resume/cancel/list)",
+    )
+    jobs_dir = argparse.ArgumentParser(add_help=False)
+    jobs_dir.add_argument(
+        "--jobs-dir",
+        default=None,
+        metavar="DIR",
+        help="journal root directory (overrides REPRO_JOBS_DIR; "
+        "default: ~/.dnasim/jobs)",
+    )
+    verbs = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    submit = verbs.add_parser(
+        "submit",
+        parents=[jobs_dir],
+        help="create a journal and run the job in the foreground "
+        "(exit 0 succeeded / 3 partial / 4 failed / 5 cancelled)",
+    )
+    submit.add_argument("job_id", help="unique job name (journal directory)")
+    submit.add_argument(
+        "--workload",
+        default="fullscale",
+        metavar="NAME",
+        help="'fullscale' (per-shard checkpoints) or 'experiment:<name>' "
+        "(one experiment runner as a single checkpointed unit)",
+    )
+    submit.add_argument("--clusters", type=int, default=1000)
+    submit.add_argument(
+        "--length", type=int, default=None, help="strand length"
+    )
+    submit.add_argument(
+        "--coverage", type=float, default=None, help="mean coverage"
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--algorithms", nargs="+", default=["majority"], metavar="ALGO"
+    )
+    submit.add_argument("--max-copies", type=int, default=4)
+    submit.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before quarantine",
+    )
+    submit.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="S"
+    )
+    submit.add_argument("--backoff-cap", type=float, default=2.0, metavar="S")
+    submit.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock watchdog per shard attempt",
+    )
+    submit.add_argument(
+        "--no-partial",
+        action="store_true",
+        help="fail the whole job on the first exhausted shard instead of "
+        "degrading to a partial result",
+    )
+    submit.add_argument(
+        "--max-quarantined",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail once more than N shards are quarantined",
+    )
+    submit.add_argument(
+        "--kill-worker-at",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="chaos: the worker for this shard dies on its first attempt",
+    )
+    submit.add_argument(
+        "--crash-at-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="chaos: the engine dies when this shard's result arrives, "
+        "before its checkpoint is written",
+    )
+    submit.add_argument(
+        "--shard-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="chaos/test: sleep this long per shard attempt (gives kill "
+        "windows a deterministic target)",
+    )
+    submit.set_defaults(handler=_cmd_jobs)
+
+    for verb, help_text in (
+        ("status", "print a job's durable status document as JSON"),
+        (
+            "resume",
+            "re-enter a job from its journal; completed shards replay "
+            "from checkpoints (exit codes as for submit)",
+        ),
+        (
+            "cancel",
+            "raise the durable cancel flag; the engine stops at its next "
+            "supervision tick",
+        ),
+    ):
+        sub = verbs.add_parser(verb, parents=[jobs_dir], help=help_text)
+        sub.add_argument("job_id")
+        sub.set_defaults(handler=_cmd_jobs)
+
+    listing = verbs.add_parser(
+        "list", parents=[jobs_dir], help="list every journal under the root"
+    )
+    listing.set_defaults(handler=_cmd_jobs)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.jobs import (
+        JobJournal,
+        JobSpec,
+        default_jobs_root,
+        exit_code_for,
+        resume_job,
+        run_job,
+    )
+    from repro.parallel import resolve_workers
+    from repro.sharding.plan import resolve_shards
+
+    root = Path(args.jobs_dir) if args.jobs_dir else default_jobs_root()
+    command = args.jobs_command
+
+    if command == "submit":
+        spec = JobSpec(
+            job_id=args.job_id,
+            workload=args.workload,
+            n_clusters=args.clusters,
+            strand_length=args.length,
+            mean_coverage=args.coverage,
+            seed=args.seed,
+            shards=resolve_shards(None),
+            workers=resolve_workers(None),
+            algorithms=tuple(args.algorithms),
+            max_copies=args.max_copies,
+            max_attempts=args.max_attempts,
+            backoff_base_s=args.backoff_base,
+            backoff_cap_s=args.backoff_cap,
+            shard_deadline_s=args.shard_deadline,
+            allow_partial=not args.no_partial,
+            max_quarantined_shards=args.max_quarantined,
+            kill_worker_at_shard=args.kill_worker_at,
+            crash_engine_at_shard=args.crash_at_shard,
+            shard_delay_s=args.shard_delay,
+        )
+        root.mkdir(parents=True, exist_ok=True)
+        result = run_job(root, spec)
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return exit_code_for(result.state)
+
+    if command == "resume":
+        result = resume_job(root, args.job_id)
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return exit_code_for(result.state)
+
+    if command == "status":
+        journal = JobJournal.open(root, args.job_id)
+        spec = journal.spec()
+        print(
+            json.dumps(
+                {
+                    "job_id": args.job_id,
+                    "workload": spec.workload,
+                    "state": journal.state().value,
+                    "engine_alive": journal.engine_alive(),
+                    "quarantined": [
+                        {
+                            "shard_index": entry.shard_index,
+                            "attempts": entry.attempts,
+                            "reason": entry.reason,
+                        }
+                        for entry in journal.quarantined()
+                    ],
+                    "result": journal.read_result(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    if command == "cancel":
+        JobJournal.open(root, args.job_id).request_cancel()
+        print(f"cancel requested for job {args.job_id!r}")
+        return 0
+
+    # list
+    job_ids = JobJournal.list_jobs(root)
+    if not job_ids:
+        print(f"no jobs under {root}")
+        return 0
+    for job_id in job_ids:
+        journal = JobJournal.open(root, job_id)
+        alive = " (engine alive)" if journal.engine_alive() else ""
+        print(
+            f"{job_id:30s} {journal.state().value:10s} "
+            f"{journal.spec().workload}{alive}"
+        )
+    return 0
 
 
 def _export_observability(args: argparse.Namespace) -> None:

@@ -2,6 +2,9 @@
 DNASimulator formats, and technology presets (Table 1.1)."""
 
 from repro.data.io import (
+    atomic_write,
+    atomic_writer,
+    fsync_directory,
     read_pool,
     read_reads,
     read_references,
@@ -24,6 +27,9 @@ from repro.data.technologies import (
 
 __all__ = [
     "NanoporeParameters",
+    "atomic_write",
+    "atomic_writer",
+    "fsync_directory",
     "SEQUENCING_TECHNOLOGIES",
     "SYNTHESIS_TECHNOLOGIES",
     "error_dictionary",

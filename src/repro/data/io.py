@@ -18,8 +18,12 @@ writes.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 from pathlib import Path
+from typing import IO
 
 from repro.core.alphabet import AlphabetError, validate_strand
 from repro.core.strand import Cluster, StrandPool
@@ -27,6 +31,92 @@ from repro.exceptions import DataFormatError
 
 #: Separator line between a reference strand and its cluster of copies.
 CLUSTER_SEPARATOR = "*" * 29
+
+
+# -------------------------------------------------------------------- #
+# Durable writes
+# -------------------------------------------------------------------- #
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory entry to stable storage (best effort).
+
+    After ``os.replace`` the new name is only crash-durable once the
+    containing directory has itself been fsync'd; platforms that refuse
+    to open directories (or filesystems without the semantics) are
+    silently tolerated.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: str | Path, mode: str = "w", encoding: str | None = "utf-8"
+) -> Iterator[IO]:
+    """Context manager yielding a handle whose contents replace ``path``
+    atomically on success.
+
+    The write goes to a temporary file in the same directory; on normal
+    exit the data is flushed, ``fsync``'d, renamed over ``path``, and the
+    directory entry is fsync'd, so readers (and crash recovery) only ever
+    observe the old file or the complete new one — never a torn write.
+    On error the temporary file is removed and ``path`` is untouched.
+
+    This is the one durable-write primitive the repository shares: the
+    job journal (:mod:`repro.jobs.journal`), the experiment-context cache
+    (:mod:`repro.experiments.cache`), and :class:`PoolWriter` all write
+    through it instead of hand-rolling tmp-file/rename variants.
+    """
+    path = Path(path)
+    if "b" in mode:
+        encoding = None
+    handle = tempfile.NamedTemporaryFile(
+        mode=mode,
+        encoding=encoding,
+        dir=path.parent,
+        prefix=path.name + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(handle.name, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write(
+    path: str | Path, content: str | bytes, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``content`` (tmp + fsync + rename).
+
+    Accepts text or bytes; the temporary file lives in the target's
+    directory so the final rename never crosses filesystems.
+    """
+    if isinstance(content, bytes):
+        with atomic_writer(path, mode="wb") as handle:
+            handle.write(content)
+    else:
+        with atomic_writer(path, mode="w", encoding=encoding) as handle:
+            handle.write(content)
 
 
 def _validated(
@@ -52,6 +142,13 @@ class PoolWriter:
     streamed file round-trips through :func:`read_pool` exactly like a
     materialised one.
 
+    Writes are atomic at the whole-file level: clusters stream into a
+    temporary file beside the target, which replaces it (fsync + rename)
+    only when :meth:`close` runs after a successful write.  A crash or an
+    exception mid-stream leaves any previous file intact and no torn
+    partial output — the same durability contract as
+    :func:`atomic_writer`, kept streaming-friendly here.
+
     Use as a context manager::
 
         with PoolWriter(path) as writer:
@@ -60,8 +157,17 @@ class PoolWriter:
     """
 
     def __init__(self, path: str | Path) -> None:
-        self._handle = open(path, "w", encoding="ascii")
+        self._path = Path(path)
+        self._handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="ascii",
+            dir=self._path.parent,
+            prefix=self._path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
         self._first = True
+        self._closed = False
         self.n_clusters = 0
         self.n_copies = 0
 
@@ -80,13 +186,38 @@ class PoolWriter:
             self.write_cluster(cluster)
 
     def close(self) -> None:
-        self._handle.close()
+        """Publish the streamed file atomically (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            os.replace(self._handle.name, self._path)
+        except BaseException:
+            self.abort()
+            raise
+        fsync_directory(self._path.parent)
+
+    def abort(self) -> None:
+        """Discard the partial stream; the target path is left untouched."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+        try:
+            os.unlink(self._handle.name)
+        except OSError:
+            pass
 
     def __enter__(self) -> "PoolWriter":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def write_pool(pool: StrandPool, path: str | Path) -> None:

@@ -11,10 +11,13 @@ are cached on disk keyed by those inputs and a format version that must
 be bumped whenever generation or profiling semantics change.
 
 Layout: one pickle per key under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/dnasim``).  Writes are atomic (temp file + ``os.replace``) so
-concurrent sessions never observe a torn file; unreadable or stale
-entries are discarded and regenerated.  Set ``REPRO_CACHE=off`` to
-disable the cache entirely.
+``~/.cache/dnasim``).  Writes go through the shared
+:func:`repro.data.io.atomic_writer` (temp file + fsync + ``os.replace``)
+so concurrent sessions never observe a torn file; unreadable (truncated,
+foreign bytes) or stale entries are discarded, logged, and regenerated
+as cache misses — a corrupt payload must never propagate an
+``UnpicklingError``/``EOFError`` into the middle of an experiment.  Set
+``REPRO_CACHE=off`` to disable the cache entirely.
 
 Every lifecycle event — hit, miss, stale discard, unreadable discard,
 store — increments a ``cache.*`` counter and emits a structured log
@@ -27,11 +30,11 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 from pathlib import Path
 
 from repro.analysis.error_stats import ErrorStatistics
 from repro.core.strand import StrandPool
+from repro.data.io import atomic_writer
 from repro.observability import counter, get_logger
 
 _logger = get_logger("repro.experiments.cache")
@@ -171,19 +174,8 @@ def store_context_artifacts(
     payload = {"pool": pool, "statistics": statistics}
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=path.parent, prefix=path.name, delete=False
-        )
-        try:
-            with handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        with atomic_writer(path, mode="wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
     except OSError as error:
         counter("cache.store_failed").inc()
         _logger.warning(

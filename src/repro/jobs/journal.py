@@ -1,0 +1,417 @@
+"""The durable job journal: crash-safe state, checkpoints, and events.
+
+Every job owns one directory under the journal root::
+
+    <root>/<job_id>/
+        job.json            # spec + state machine position (atomic)
+        events.jsonl        # append-only fsync'd event log
+        shards/
+            shard-00003.json  # one checkpoint per completed shard
+        result.json         # final JobResult summary (atomic)
+        cancel.requested    # cooperative cross-process cancel flag
+        heartbeat           # engine liveness (mtime, no fsync needed)
+
+Durability rules:
+
+* ``job.json``, ``result.json``, and every checkpoint are written with
+  :func:`repro.data.io.atomic_write` (tmp + fsync + rename + directory
+  fsync), so a reader — including the resume path after a SIGKILL —
+  only ever sees a complete document or the previous one.
+* ``events.jsonl`` is append-only; each line is flushed and fsync'd.  A
+  crash can tear at most the final line, and :meth:`JobJournal.events`
+  tolerates (and reports) a torn tail instead of failing the replay.
+* Checkpoint payloads are pickled (the per-shard summaries hold
+  tuple-keyed Counters that JSON cannot carry), base64-wrapped in JSON,
+  and guarded by a BLAKE2b digest — a corrupt or truncated checkpoint is
+  detected on read and treated as "shard not done", never trusted.
+
+The journal is the *only* communication channel between a crashed run
+and its resume, which is exactly why resume produces bit-identical
+results: the spec re-derives the same deterministic
+:class:`~repro.sharding.FullScalePlan`, completed shards replay from
+checkpoints, and the rest re-run the same pure shard function.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+from repro.data.io import atomic_write, fsync_directory
+from repro.exceptions import JobError
+from repro.jobs.spec import (
+    JOURNAL_FORMAT_VERSION,
+    JobSpec,
+    JobState,
+    QuarantinedShard,
+    check_transition,
+)
+from repro.observability import counter, get_logger
+
+_logger = get_logger("repro.jobs.journal")
+
+#: Environment variable overriding the default journal root.
+JOBS_DIR_ENV = "REPRO_JOBS_DIR"
+
+
+def default_jobs_root() -> Path:
+    """The journal root (``$REPRO_JOBS_DIR`` or ``~/.dnasim/jobs``)."""
+    override = os.environ.get(JOBS_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".dnasim" / "jobs"
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+class JobJournal:
+    """Filesystem-backed durable record of one job."""
+
+    def __init__(self, root: str | Path, job_id: str) -> None:
+        self.root = Path(root)
+        self.job_id = job_id
+        self.job_dir = self.root / job_id
+        self.shards_dir = self.job_dir / "shards"
+        self._job_file = self.job_dir / "job.json"
+        self._events_file = self.job_dir / "events.jsonl"
+        self._result_file = self.job_dir / "result.json"
+        self._cancel_file = self.job_dir / "cancel.requested"
+        self._heartbeat_file = self.job_dir / "heartbeat"
+
+    # ---------------------------------------------------------------- #
+    # Creation / discovery
+    # ---------------------------------------------------------------- #
+
+    @classmethod
+    def create(cls, root: str | Path, spec: JobSpec) -> "JobJournal":
+        """Initialise a fresh journal in state ``PENDING``.
+
+        Raises:
+            JobError: if the job id already has a journal.
+        """
+        journal = cls(root, spec.job_id)
+        if journal._job_file.exists():
+            raise JobError(
+                f"job {spec.job_id!r} already exists under {journal.root}"
+            )
+        journal.shards_dir.mkdir(parents=True, exist_ok=True)
+        journal._write_job_document(
+            spec=spec, state=JobState.PENDING, pid=None, quarantined=[]
+        )
+        journal.append_event("submitted", workload=spec.workload)
+        counter("jobs.submitted").inc()
+        return journal
+
+    @classmethod
+    def open(cls, root: str | Path, job_id: str) -> "JobJournal":
+        """Attach to an existing journal.
+
+        Raises:
+            JobError: unknown job id, or a journal written by an
+                incompatible format version.
+        """
+        journal = cls(root, job_id)
+        if not journal._job_file.exists():
+            raise JobError(f"no job {job_id!r} under {journal.root}")
+        document = journal._read_job_document()
+        version = document.get("format_version")
+        if version != JOURNAL_FORMAT_VERSION:
+            raise JobError(
+                f"job {job_id!r} journal format {version!r} is not "
+                f"supported (expected {JOURNAL_FORMAT_VERSION})"
+            )
+        return journal
+
+    @staticmethod
+    def list_jobs(root: str | Path) -> list[str]:
+        """Job ids with a readable journal under ``root``, sorted."""
+        root = Path(root)
+        if not root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in root.iterdir()
+            if (entry / "job.json").is_file()
+        )
+
+    # ---------------------------------------------------------------- #
+    # The job document (spec + state)
+    # ---------------------------------------------------------------- #
+
+    def _write_job_document(
+        self,
+        spec: JobSpec,
+        state: JobState,
+        pid: int | None,
+        quarantined: list[dict],
+    ) -> None:
+        atomic_write(
+            self._job_file,
+            json.dumps(
+                {
+                    "format_version": JOURNAL_FORMAT_VERSION,
+                    "job_id": self.job_id,
+                    "spec": spec.to_json(),
+                    "state": state.value,
+                    "pid": pid,
+                    "updated_at": time.time(),
+                    "quarantined": quarantined,
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+
+    def _read_job_document(self) -> dict:
+        try:
+            return json.loads(self._job_file.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise JobError(
+                f"no job {self.job_id!r} under {self.root}"
+            ) from None
+        except (OSError, json.JSONDecodeError) as error:
+            # Atomic writes make this unreachable short of external
+            # corruption; fail loudly rather than guess.
+            raise JobError(
+                f"job {self.job_id!r} journal is unreadable: {error}"
+            ) from error
+
+    def spec(self) -> JobSpec:
+        return JobSpec.from_json(self._read_job_document()["spec"])
+
+    def state(self) -> JobState:
+        return JobState(self._read_job_document()["state"])
+
+    def pid(self) -> int | None:
+        return self._read_job_document().get("pid")
+
+    def quarantined(self) -> tuple[QuarantinedShard, ...]:
+        return tuple(
+            QuarantinedShard(**entry)
+            for entry in self._read_job_document().get("quarantined", [])
+        )
+
+    def set_state(
+        self, target: JobState, pid: int | None = None, **event_fields
+    ) -> None:
+        """Transition the state machine (validated) and log the edge."""
+        document = self._read_job_document()
+        current = JobState(document["state"])
+        check_transition(current, target)
+        self._write_job_document(
+            spec=JobSpec.from_json(document["spec"]),
+            state=target,
+            pid=pid if pid is not None else document.get("pid"),
+            quarantined=document.get("quarantined", []),
+        )
+        self.append_event(
+            "state_change",
+            previous=current.value,
+            state=target.value,
+            **event_fields,
+        )
+        counter("jobs.state_changes", state=target.value).inc()
+
+    def replace_spec(self, spec: JobSpec) -> None:
+        """Persist an updated spec (resume uses this to strip chaos
+        hooks); state and quarantine records are preserved."""
+        document = self._read_job_document()
+        self._write_job_document(
+            spec=spec,
+            state=JobState(document["state"]),
+            pid=document.get("pid"),
+            quarantined=document.get("quarantined", []),
+        )
+
+    def record_quarantine(
+        self, shard_index: int, attempts: int, reason: str
+    ) -> None:
+        """Durably quarantine a shard (idempotent per shard index)."""
+        document = self._read_job_document()
+        quarantined = [
+            entry
+            for entry in document.get("quarantined", [])
+            if entry["shard_index"] != shard_index
+        ]
+        quarantined.append(
+            {"shard_index": shard_index, "attempts": attempts, "reason": reason}
+        )
+        quarantined.sort(key=lambda entry: entry["shard_index"])
+        self._write_job_document(
+            spec=JobSpec.from_json(document["spec"]),
+            state=JobState(document["state"]),
+            pid=document.get("pid"),
+            quarantined=quarantined,
+        )
+        self.append_event(
+            "shard_quarantined",
+            shard=shard_index,
+            attempts=attempts,
+            reason=reason,
+        )
+        counter("jobs.shards_quarantined").inc()
+
+    # ---------------------------------------------------------------- #
+    # Event log
+    # ---------------------------------------------------------------- #
+
+    def append_event(self, event: str, **fields) -> None:
+        """Append one fsync'd JSON line to the event log."""
+        record = {"t": time.time(), "event": event, **fields}
+        line = json.dumps(record, sort_keys=True)
+        with open(self._events_file, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def events(self) -> list[dict]:
+        """Replay the event log, tolerating a torn final line.
+
+        A SIGKILL can interrupt an append mid-line; everything before
+        the tear is intact (each line was fsync'd whole), so the torn
+        tail is dropped with a warning instead of poisoning the replay.
+        """
+        try:
+            raw = self._events_file.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        records: list[dict] = []
+        for line_number, line in enumerate(raw.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                _logger.warning(
+                    "journal_torn_event_line",
+                    job_id=self.job_id,
+                    line=line_number,
+                )
+                break
+        return records
+
+    # ---------------------------------------------------------------- #
+    # Shard checkpoints
+    # ---------------------------------------------------------------- #
+
+    def _checkpoint_path(self, shard_index: int) -> Path:
+        return self.shards_dir / f"shard-{shard_index:05d}.json"
+
+    def write_checkpoint(
+        self, shard_index: int, payload: object, attempt: int
+    ) -> None:
+        """Durably record one shard's mergeable summary.
+
+        The payload is pickled exactly (the summaries hold tuple-keyed
+        Counters), base64-wrapped, and digest-guarded; the write is
+        atomic, so resume sees either the whole checkpoint or none.
+        """
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            self._checkpoint_path(shard_index),
+            json.dumps(
+                {
+                    "format_version": JOURNAL_FORMAT_VERSION,
+                    "shard_index": shard_index,
+                    "attempt": attempt,
+                    "digest": _digest(raw),
+                    "payload": base64.b64encode(raw).decode("ascii"),
+                },
+                sort_keys=True,
+            ),
+        )
+        self.append_event("shard_succeeded", shard=shard_index, attempt=attempt)
+        counter("jobs.shards_completed").inc()
+
+    def read_checkpoint(self, shard_index: int) -> object | None:
+        """One shard's checkpointed summary, or None if absent/corrupt.
+
+        A checkpoint that fails to parse or whose digest mismatches is
+        reported and treated as missing — the shard simply re-runs,
+        which is always safe because shard execution is pure.
+        """
+        path = self._checkpoint_path(shard_index)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            raw = base64.b64decode(document["payload"])
+            if document.get("shard_index") != shard_index:
+                raise ValueError("checkpoint shard index mismatch")
+            if document.get("digest") != _digest(raw):
+                raise ValueError("checkpoint digest mismatch")
+            return pickle.loads(raw)
+        except FileNotFoundError:
+            return None
+        except Exception as error:  # torn/corrupt checkpoint: re-run shard
+            counter("jobs.checkpoints_discarded").inc()
+            _logger.warning(
+                "journal_checkpoint_discarded",
+                job_id=self.job_id,
+                shard=shard_index,
+                error=type(error).__name__,
+                detail=str(error),
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def checkpointed_shards(self, n_shards: int) -> dict[int, object]:
+        """All valid checkpoints, keyed by shard index."""
+        checkpoints: dict[int, object] = {}
+        for shard_index in range(n_shards):
+            payload = self.read_checkpoint(shard_index)
+            if payload is not None:
+                checkpoints[shard_index] = payload
+        return checkpoints
+
+    # ---------------------------------------------------------------- #
+    # Result, cancellation, liveness
+    # ---------------------------------------------------------------- #
+
+    def write_result(self, summary: dict) -> None:
+        atomic_write(
+            self._result_file, json.dumps(summary, indent=2, sort_keys=True)
+        )
+
+    def read_result(self) -> dict | None:
+        try:
+            return json.loads(self._result_file.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def request_cancel(self) -> None:
+        """Raise the cooperative cancel flag (any process may call)."""
+        self._cancel_file.write_text("cancel\n", encoding="utf-8")
+        fsync_directory(self.job_dir)
+        self.append_event("cancel_requested")
+
+    def cancel_requested(self) -> bool:
+        return self._cancel_file.exists()
+
+    def clear_cancel_request(self) -> None:
+        try:
+            self._cancel_file.unlink()
+        except OSError:
+            pass
+
+    def touch_heartbeat(self) -> None:
+        """Refresh the engine-liveness marker (mtime is the signal)."""
+        with open(self._heartbeat_file, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+
+    def engine_alive(self, stale_after_s: float = 5.0) -> bool:
+        """Whether an engine process appears to be driving this job."""
+        try:
+            age = time.time() - self._heartbeat_file.stat().st_mtime
+        except OSError:
+            return False
+        return age < stale_after_s

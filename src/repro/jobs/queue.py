@@ -1,0 +1,164 @@
+"""An in-process job queue over the durable engine.
+
+:class:`JobQueue` runs :class:`~repro.jobs.engine.JobEngine` instances
+on a small thread pool (the engine itself spawns worker *processes* for
+shard compute, so queue threads spend their time supervising, not
+computing).  Because every job's truth lives in its journal, the queue
+holds no state worth losing: killing the process mid-job leaves journals
+that :meth:`resume` — from this queue, a new one, or the CLI — picks up
+exactly where they stopped.
+
+Status reads go straight to the journal, so they are valid for jobs this
+queue never ran, including jobs driven by a different process that is
+still alive (the engine heartbeat distinguishes a *running* RUNNING from
+a *stale* RUNNING left behind by a kill).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from pathlib import Path
+
+from repro.exceptions import JobError
+from repro.jobs.engine import JobEngine
+from repro.jobs.journal import JobJournal, default_jobs_root
+from repro.jobs.spec import JobResult, JobSpec, JobState
+from repro.observability import counter, get_logger
+
+_logger = get_logger("repro.jobs.queue")
+
+
+class JobQueue:
+    """Submit, watch, resume, and cancel durable jobs.
+
+    Args:
+        root: journal root directory (default:
+            :func:`~repro.jobs.journal.default_jobs_root`).
+        max_workers: concurrent jobs (each job further parallelises over
+            its own shard worker processes).
+    """
+
+    def __init__(
+        self, root: str | Path | None = None, max_workers: int = 2
+    ) -> None:
+        if max_workers < 1:
+            raise JobError(f"max_workers must be >= 1, got {max_workers}")
+        self.root = Path(root) if root is not None else default_jobs_root()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="job-engine"
+        )
+        self._futures: dict[str, concurrent.futures.Future] = {}
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- #
+    # Lifecycle
+    # ---------------------------------------------------------------- #
+
+    def submit(self, spec: JobSpec) -> str:
+        """Create the journal and schedule the job; returns the job id."""
+        engine = JobEngine.submit(self.root, spec)
+        future = self._pool.submit(engine.run)
+        with self._lock:
+            self._futures[spec.job_id] = future
+        counter("jobs.queue_submitted").inc()
+        _logger.info("job_queued", job_id=spec.job_id, workload=spec.workload)
+        return spec.job_id
+
+    def resume(self, job_id: str) -> str:
+        """Schedule a resume of an existing journal; returns the job id."""
+        engine = JobEngine.attach(self.root, job_id)
+        future = self._pool.submit(engine.run, True)
+        with self._lock:
+            self._futures[job_id] = future
+        counter("jobs.queue_resumed").inc()
+        return job_id
+
+    def cancel(self, job_id: str) -> None:
+        """Raise the durable cancel flag; the engine stops at its next
+        supervision tick (works across processes)."""
+        JobJournal.open(self.root, job_id).request_cancel()
+        counter("jobs.queue_cancelled").inc()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until a job scheduled *on this queue* finishes.
+
+        Raises:
+            JobError: if the job was never scheduled here (use
+                :meth:`status` for journal-only jobs) or the wait timed
+                out.
+        """
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is None:
+            raise JobError(
+                f"job {job_id!r} is not scheduled on this queue"
+            )
+        try:
+            return future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            raise JobError(
+                f"timed out after {timeout}s waiting for job {job_id!r}"
+            ) from None
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ---------------------------------------------------------------- #
+    # Inspection (journal-backed; valid across processes)
+    # ---------------------------------------------------------------- #
+
+    def status(self, job_id: str) -> dict:
+        """One job's durable status document."""
+        journal = JobJournal.open(self.root, job_id)
+        spec = journal.spec()
+        state = journal.state()
+        result = journal.read_result()
+        return {
+            "job_id": job_id,
+            "workload": spec.workload,
+            "state": state.value,
+            "engine_alive": journal.engine_alive(),
+            "quarantined": [
+                {
+                    "shard_index": entry.shard_index,
+                    "attempts": entry.attempts,
+                    "reason": entry.reason,
+                }
+                for entry in journal.quarantined()
+            ],
+            "result": result,
+        }
+
+    def list_jobs(self) -> list[dict]:
+        """Status summaries for every journal under the root."""
+        summaries = []
+        for job_id in JobJournal.list_jobs(self.root):
+            try:
+                journal = JobJournal.open(self.root, job_id)
+                summaries.append(
+                    {
+                        "job_id": job_id,
+                        "workload": journal.spec().workload,
+                        "state": journal.state().value,
+                        "engine_alive": journal.engine_alive(),
+                    }
+                )
+            except JobError:
+                summaries.append({"job_id": job_id, "state": "unreadable"})
+        return summaries
+
+    def states(self) -> dict[str, JobState]:
+        """Job id -> current state, for every journal under the root."""
+        return {
+            job_id: JobJournal.open(self.root, job_id).state()
+            for job_id in JobJournal.list_jobs(self.root)
+        }

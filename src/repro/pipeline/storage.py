@@ -35,6 +35,7 @@ Two read entry points:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -500,7 +501,10 @@ class DNAArchive:
         Each attempt re-sequences the (aged) pool at the coverage the
         :class:`~repro.robustness.RetryPolicy` prescribes and merges the
         newly parsed strands with everything earlier attempts recovered —
-        re-sequencing only ever adds information.  If the Reed-Solomon
+        re-sequencing only ever adds information.  A policy with
+        ``deadline_s`` set stops escalating between attempts once the
+        wall-clock budget is spent and salvages from what was already
+        recovered.  If the Reed-Solomon
         decode still fails after the last attempt, the file is decoded
         *group by group and byte-column by byte-column*: columns the RS
         budget can correct are corrected, CRC-validated payload bytes of
@@ -522,12 +526,28 @@ class DNAArchive:
         primary = reconstructor or BMALookahead()
         strands = self._aged_strands(stored, decay, storage_years)
 
+        started = time.monotonic()
         with span("retrieve", key=key, max_attempts=policy.max_attempts):
             payload_by_index: dict[int, bytes] = {}
             failures: dict[int, str] = {}
             attempts: list[AttemptReport] = []
             total_reads = 0
             for attempt in range(policy.max_attempts):
+                if attempt > 0 and policy.over_deadline(
+                    time.monotonic() - started
+                ):
+                    # Over the wall-clock budget: stop escalating and
+                    # salvage from what earlier attempts recovered rather
+                    # than burning the remaining attempts.
+                    counter("retry.deadline_exceeded").inc()
+                    _logger.warning(
+                        "retrieve_deadline_exceeded",
+                        key=key,
+                        attempt=attempt,
+                        deadline_s=policy.deadline_s,
+                        elapsed_s=round(time.monotonic() - started, 3),
+                    )
+                    break
                 attempt_coverage = policy.coverage_for_attempt(
                     coverage, attempt, len(strands)
                 )
@@ -612,12 +632,13 @@ class DNAArchive:
                     n_reads=total_reads,
                 )
 
-            # Retries exhausted: salvage whatever the pool still supports.
+            # Retries exhausted (or the deadline fired): salvage whatever
+            # the pool still supports.
             counter("retry.exhausted").inc()
             _logger.warning(
                 "retrieve_retries_exhausted",
                 key=key,
-                attempts=policy.max_attempts,
+                attempts=len(attempts),
                 missing_strands=stored.n_total_strands - len(payload_by_index),
             )
             data, recovered_flags, n_erasures, n_corrected = (

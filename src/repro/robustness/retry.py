@@ -36,6 +36,11 @@ class RetryPolicy:
             index) onward — e.g. a slower but sturdier algorithm once
             the fast one has failed.
         fallback_after: first attempt index that uses the fallback.
+        deadline_s: optional wall-clock budget for the whole retrieval.
+            Once the elapsed time crosses it, escalation stops *between*
+            attempts (a running attempt is never interrupted) and the
+            best partial :class:`RecoveryResult` accumulated so far is
+            returned instead of burning the remaining attempts.
     """
 
     max_attempts: int = 3
@@ -43,6 +48,7 @@ class RetryPolicy:
     read_budget_per_attempt: int | None = None
     fallback_reconstructor: Reconstructor | None = None
     fallback_after: int = 1
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -65,6 +71,14 @@ class RetryPolicy:
             raise ConfigError(
                 f"fallback_after must be >= 0, got {self.fallback_after}"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+
+    def over_deadline(self, elapsed_s: float) -> bool:
+        """Whether ``elapsed_s`` has exhausted the wall-clock budget."""
+        return self.deadline_s is not None and elapsed_s >= self.deadline_s
 
     def coverage_for_attempt(
         self, base_coverage: int, attempt: int, n_strands: int

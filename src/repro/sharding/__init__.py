@@ -36,7 +36,15 @@ from repro.sharding.plan import (
 #: reconstruction stack, and every stage module imports this package for
 #: plan machinery alone — eager re-export would make that import heavy
 #: and circular.
-_RUNNER_EXPORTS = ("FullScaleResult", "run_fullscale")
+_RUNNER_EXPORTS = (
+    "FullScalePlan",
+    "FullScaleResult",
+    "ShardConfig",
+    "merge_shard_results",
+    "plan_fullscale",
+    "run_fullscale",
+    "run_shard",
+)
 
 
 def __getattr__(name: str):
@@ -55,6 +63,11 @@ __all__ = [
     "resolve_shards",
     "set_default_shards",
     "shard_of",
+    "FullScalePlan",
     "FullScaleResult",
+    "ShardConfig",
+    "merge_shard_results",
+    "plan_fullscale",
     "run_fullscale",
+    "run_shard",
 ]

@@ -22,6 +22,7 @@ by :func:`repro.parallel.parallel_map` when collection is enabled.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -55,7 +56,7 @@ RECONSTRUCTORS: dict[str, type[Reconstructor]] = {
 
 
 @dataclass(frozen=True)
-class _ShardConfig:
+class ShardConfig:
     """Everything a shard worker needs, picklable once per run."""
 
     model: ErrorModel
@@ -65,6 +66,43 @@ class _ShardConfig:
     max_copies: int | None
     algorithms: tuple[str, ...]
     backend: str
+
+
+#: One shard's mergeable summary: ``(statistics, tallies, n_reads)``.
+ShardResult = tuple[ErrorStatistics, dict[str, AccuracyTally], int]
+
+
+@dataclass(frozen=True)
+class FullScalePlan:
+    """The deterministic decomposition of one full-scale run.
+
+    A pure function of the run parameters: the same ``(n_clusters,
+    strand_length, mean_coverage, seed, shards, algorithms, max_copies)``
+    always yields the same per-shard work items, so any executor —
+    :func:`run_fullscale`'s one-shot ``parallel_map`` or the checkpointed
+    :class:`repro.jobs.JobEngine` — produces bit-identical merged results
+    from the same plan, regardless of scheduling, retries, or crashes in
+    between.
+    """
+
+    config: ShardConfig
+    plan: ShardPlan
+    #: Per-shard ``(cluster_index, coverage)`` work items.
+    per_shard: tuple[tuple[tuple[int, int], ...], ...]
+    n_clusters: int
+    strand_length: int
+    n_erasures: int
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    def shard_items(self) -> list[tuple[int, list[tuple[int, int]]]]:
+        """The ``(shard_index, chunk)`` items :func:`run_shard` consumes."""
+        return [
+            (shard_index, list(chunk))
+            for shard_index, chunk in enumerate(self.per_shard)
+        ]
 
 
 @dataclass
@@ -109,9 +147,9 @@ class FullScaleResult:
         }
 
 
-def _run_shard(
-    config: _ShardConfig, item: tuple[int, list[tuple[int, int]]]
-) -> tuple[ErrorStatistics, dict[str, AccuracyTally], int]:
+def run_shard(
+    config: ShardConfig, item: tuple[int, list[tuple[int, int]]]
+) -> ShardResult:
     """One shard of the full pipeline, start to finish.
 
     ``item`` is ``(shard_index, [(cluster_index, coverage), ...])``.
@@ -155,6 +193,119 @@ def _run_shard(
         if shard_span is not None:
             shard_span.set(reads=n_reads)
         return statistics, tallies, n_reads
+
+
+def plan_fullscale(
+    n_clusters: int = 1_000,
+    strand_length: int | None = None,
+    mean_coverage: float | None = None,
+    seed: int = 0,
+    shards: int | None = None,
+    algorithms: tuple[str, ...] = ("majority",),
+    max_copies: int | None = 4,
+    parameters: object = None,
+) -> FullScalePlan:
+    """Build the deterministic shard decomposition of a full-scale run.
+
+    Validates the parameters, draws the per-cluster coverages from the
+    run seed, and partitions the clusters into contiguous shards.  The
+    returned :class:`FullScalePlan` fully determines every shard's work:
+    executing its shards in any order — or across process restarts — and
+    merging with :func:`merge_shard_results` reproduces
+    :func:`run_fullscale` bit for bit.
+
+    Raises:
+        ConfigError: for unknown algorithm names.
+    """
+    # Imported lazily: repro.data.nanopore imports this package's plan
+    # module, so a module-level import here would be circular.
+    from repro.data.nanopore import (
+        PAPER_MEAN_COVERAGE,
+        PAPER_STRAND_LENGTH,
+        ground_truth_coverage,
+        ground_truth_model,
+    )
+
+    for name in algorithms:
+        if name not in RECONSTRUCTORS:
+            raise ConfigError(
+                f"unknown algorithm {name!r}; choose from "
+                f"{sorted(RECONSTRUCTORS)}"
+            )
+    if strand_length is None:
+        strand_length = PAPER_STRAND_LENGTH
+    if mean_coverage is None:
+        mean_coverage = PAPER_MEAN_COVERAGE
+    n_shards = resolve_shards(shards)
+
+    model = ground_truth_model(parameters)
+    coverage_model = ground_truth_coverage(mean_coverage, parameters)
+    coverage_rng = random.Random(derive_seed(seed, -1))
+    coverages = coverage_model.draw(n_clusters, coverage_rng)
+
+    plan = ShardPlan.contiguous(n_clusters, n_shards)
+    per_shard = plan.split(list(enumerate(coverages)))
+    config = ShardConfig(
+        model=model,
+        seed=seed,
+        reference_base=derive_seed(seed, -2),
+        strand_length=strand_length,
+        max_copies=max_copies,
+        algorithms=tuple(algorithms),
+        backend=align_backend(),
+    )
+    return FullScalePlan(
+        config=config,
+        plan=plan,
+        per_shard=tuple(tuple(chunk) for chunk in per_shard),
+        n_clusters=n_clusters,
+        strand_length=strand_length,
+        n_erasures=sum(1 for coverage in coverages if coverage == 0),
+    )
+
+
+def merge_shard_results(
+    fullscale_plan: FullScalePlan,
+    shard_results: Sequence[ShardResult],
+    workers: int,
+    keep_statistics: bool = False,
+) -> FullScaleResult:
+    """Fold per-shard summaries (in shard order) into the merged result.
+
+    Every field is built with the associative merge machinery, so the
+    outcome depends only on the plan and the per-shard summaries — not on
+    which process computed them, in how many attempts, or whether a crash
+    and resume happened in between.
+    """
+    if len(shard_results) != fullscale_plan.n_shards:
+        raise ValueError(
+            f"plan has {fullscale_plan.n_shards} shards but "
+            f"{len(shard_results)} results given"
+        )
+    statistics = ErrorStatistics()
+    tallies: dict[str, AccuracyTally] = {
+        name: AccuracyTally() for name in fullscale_plan.config.algorithms
+    }
+    n_reads = 0
+    for shard_statistics, shard_tallies, shard_reads in shard_results:
+        statistics.merge(shard_statistics)
+        for name, tally in shard_tallies.items():
+            tallies[name].merge(tally)
+        n_reads += shard_reads
+    n_clusters = fullscale_plan.n_clusters
+    return FullScaleResult(
+        n_clusters=n_clusters,
+        strand_length=fullscale_plan.strand_length,
+        n_shards=fullscale_plan.n_shards,
+        workers=workers,
+        n_reads=n_reads,
+        n_erasures=fullscale_plan.n_erasures,
+        mean_coverage=n_reads / n_clusters if n_clusters else 0.0,
+        aggregate_error_rate=statistics.aggregate_error_rate(),
+        accuracy={name: tally.report() for name, tally in tallies.items()},
+        shard_sizes=fullscale_plan.plan.shard_sizes(),
+        statistics=statistics if keep_statistics else None,
+    )
 
 
 def run_fullscale(
@@ -202,76 +353,32 @@ def run_fullscale(
     Raises:
         ConfigError: for unknown algorithm names.
     """
-    # Imported lazily: repro.data.nanopore imports this package's plan
-    # module, so a module-level import here would be circular.
-    from repro.data.nanopore import (
-        PAPER_MEAN_COVERAGE,
-        PAPER_STRAND_LENGTH,
-        ground_truth_coverage,
-        ground_truth_model,
-    )
-
-    for name in algorithms:
-        if name not in RECONSTRUCTORS:
-            raise ConfigError(
-                f"unknown algorithm {name!r}; choose from "
-                f"{sorted(RECONSTRUCTORS)}"
-            )
-    if strand_length is None:
-        strand_length = PAPER_STRAND_LENGTH
-    if mean_coverage is None:
-        mean_coverage = PAPER_MEAN_COVERAGE
-    n_shards = resolve_shards(shards)
-    effective_workers = resolve_workers(workers)
-
-    model = ground_truth_model(parameters)
-    coverage_model = ground_truth_coverage(mean_coverage, parameters)
-    coverage_rng = random.Random(derive_seed(seed, -1))
-    coverages = coverage_model.draw(n_clusters, coverage_rng)
-
-    plan = ShardPlan.contiguous(n_clusters, n_shards)
-    per_shard = plan.split(list(enumerate(coverages)))
-    config = _ShardConfig(
-        model=model,
-        seed=seed,
-        reference_base=derive_seed(seed, -2),
+    fullscale_plan = plan_fullscale(
+        n_clusters=n_clusters,
         strand_length=strand_length,
+        mean_coverage=mean_coverage,
+        seed=seed,
+        shards=shards,
+        algorithms=algorithms,
         max_copies=max_copies,
-        algorithms=tuple(algorithms),
-        backend=align_backend(),
+        parameters=parameters,
     )
+    effective_workers = resolve_workers(workers)
     with span(
         "fullscale",
         clusters=n_clusters,
-        shards=n_shards,
+        shards=fullscale_plan.n_shards,
         workers=effective_workers,
     ):
         shard_results = parallel_map(
-            partial(_run_shard, config),
-            list(enumerate(per_shard)),
+            partial(run_shard, fullscale_plan.config),
+            fullscale_plan.shard_items(),
             workers=effective_workers,
             chunk_size=1,
         )
-    statistics = ErrorStatistics()
-    tallies: dict[str, AccuracyTally] = {
-        name: AccuracyTally() for name in algorithms
-    }
-    n_reads = 0
-    for shard_statistics, shard_tallies, shard_reads in shard_results:
-        statistics.merge(shard_statistics)
-        for name, tally in shard_tallies.items():
-            tallies[name].merge(tally)
-        n_reads += shard_reads
-    return FullScaleResult(
-        n_clusters=n_clusters,
-        strand_length=strand_length,
-        n_shards=n_shards,
+    return merge_shard_results(
+        fullscale_plan,
+        shard_results,
         workers=effective_workers,
-        n_reads=n_reads,
-        n_erasures=sum(1 for coverage in coverages if coverage == 0),
-        mean_coverage=n_reads / n_clusters if n_clusters else 0.0,
-        aggregate_error_rate=statistics.aggregate_error_rate(),
-        accuracy={name: tally.report() for name, tally in tallies.items()},
-        shard_sizes=plan.shard_sizes(),
-        statistics=statistics if keep_statistics else None,
+        keep_statistics=keep_statistics,
     )

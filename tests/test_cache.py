@@ -1,0 +1,85 @@
+"""Regression tests for the experiment-context cache's corruption handling.
+
+A truncated or foreign cache file used to be able to raise
+``UnpicklingError``/``EOFError`` into the middle of an experiment; the
+contract now is that *any* unreadable payload is logged, discarded, and
+treated as a cache miss — the cache can never wedge a session.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+import pytest
+
+from repro.experiments import cache
+from repro.observability import configure_logging
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.delenv(cache.CACHE_ENABLED_ENV, raising=False)
+    return tmp_path
+
+
+def _store(small_pool):
+    from repro.analysis.error_stats import ErrorStatistics
+
+    statistics = ErrorStatistics()
+    statistics.tally_pool(small_pool, None)
+    path = cache.store_context_artifacts(
+        len(small_pool), 0, None, small_pool, statistics
+    )
+    assert path is not None
+    return path
+
+
+class TestCorruptEntriesAreMisses:
+    def test_truncated_pickle_is_a_miss(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load_context_artifacts(len(small_pool), 0, None) is None
+        assert not path.exists()  # discarded, not left to fail again
+
+    def test_garbage_bytes_are_a_miss(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(b"this was never a pickle")
+        assert cache.load_context_artifacts(len(small_pool), 0, None) is None
+        assert not path.exists()
+
+    def test_empty_file_is_a_miss(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(b"")
+        assert cache.load_context_artifacts(len(small_pool), 0, None) is None
+        assert not path.exists()
+
+    def test_wrong_payload_shape_is_a_stale_miss(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(pickle.dumps({"pool": "not a pool"}))
+        assert cache.load_context_artifacts(len(small_pool), 0, None) is None
+        assert not path.exists()
+
+    def test_unreadable_event_is_logged(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(b"\x80garbage")
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        try:
+            assert (
+                cache.load_context_artifacts(len(small_pool), 0, None) is None
+            )
+        finally:
+            configure_logging()  # restore defaults for later tests
+        assert "cache.unreadable_discard" in stream.getvalue()
+
+    def test_miss_then_store_then_hit_recovers(self, cache_dir, small_pool):
+        path = _store(small_pool)
+        path.write_bytes(b"junk")
+        assert cache.load_context_artifacts(len(small_pool), 0, None) is None
+        _store(small_pool)
+        loaded = cache.load_context_artifacts(len(small_pool), 0, None)
+        assert loaded is not None
+        pool, statistics = loaded
+        assert pool.references == small_pool.references

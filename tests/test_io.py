@@ -140,3 +140,77 @@ class TestReadFiles:
         path = tmp_path / "reads.txt"
         write_reads(["ACGT", "ACGA", "AC"], path)
         assert read_reads(path) == ["ACGT", "ACGA", "AC"]
+
+
+class TestAtomicWrites:
+    """The shared durable-write primitive (satellite of the job engine)."""
+
+    def test_atomic_write_text_and_bytes(self, tmp_path):
+        from repro.data.io import atomic_write
+
+        target = tmp_path / "doc.txt"
+        atomic_write(target, "hello")
+        assert target.read_text() == "hello"
+        atomic_write(target, b"\x00\x01binary")
+        assert target.read_bytes() == b"\x00\x01binary"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        from repro.data.io import atomic_write
+
+        atomic_write(tmp_path / "a.json", "{}")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_failure_leaves_previous_content_and_no_temp(self, tmp_path):
+        from repro.data.io import atomic_writer
+
+        target = tmp_path / "doc.txt"
+        target.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "previous"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.txt"]
+
+    def test_writer_replaces_only_on_clean_exit(self, tmp_path):
+        from repro.data.io import atomic_writer
+
+        target = tmp_path / "doc.bin"
+        with atomic_writer(target, mode="wb") as handle:
+            handle.write(b"all")
+            assert not target.exists()  # nothing visible until the rename
+            handle.write(b" of it")
+        assert target.read_bytes() == b"all of it"
+
+
+class TestPoolWriterAtomicity:
+    def test_interrupted_write_leaves_no_partial_file(self, tmp_path, small_pool):
+        from repro.data.io import PoolWriter
+
+        target = tmp_path / "pool.txt"
+        with pytest.raises(RuntimeError):
+            with PoolWriter(target) as writer:
+                writer.write_cluster(small_pool[0])
+                raise RuntimeError("killed mid-stream")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp cleaned up too
+
+    def test_complete_write_is_readable_and_counts(self, tmp_path, small_pool):
+        from repro.data.io import PoolWriter
+
+        target = tmp_path / "pool.txt"
+        with PoolWriter(target) as writer:
+            writer.write_all(iter(small_pool))
+        assert writer.n_clusters == len(small_pool)
+        loaded = read_pool(target)
+        assert loaded.references == small_pool.references
+
+    def test_close_is_idempotent(self, tmp_path, small_pool):
+        from repro.data.io import PoolWriter
+
+        target = tmp_path / "pool.txt"
+        writer = PoolWriter(target)
+        writer.write_cluster(small_pool[0])
+        writer.close()
+        writer.close()  # second close must be a no-op
+        assert read_pool(target)[0].reference == small_pool[0].reference

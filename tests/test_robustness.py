@@ -418,3 +418,56 @@ class TestPartialRecoveryShape:
                 "f",
                 faults=FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0),
             )
+
+
+class TestRetryDeadline:
+    """satellite: a wall-clock budget stops retry escalation between
+    attempts and still returns the best partial RecoveryResult."""
+
+    PAYLOAD = bytes((i * 13 + 1) % 256 for i in range(200))
+
+    def test_deadline_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline_s=-1.0)
+        RetryPolicy(deadline_s=5.0)  # positive is fine
+
+    def test_over_deadline(self):
+        policy = RetryPolicy(deadline_s=1.0)
+        assert not policy.over_deadline(0.5)
+        assert policy.over_deadline(1.0)
+        assert policy.over_deadline(2.0)
+        assert not RetryPolicy().over_deadline(1e9)  # no budget -> never
+
+    def test_exhausted_deadline_stops_after_first_attempt(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0),
+            retry=RetryPolicy(max_attempts=5, deadline_s=1e-9),
+        )
+        assert isinstance(result, RecoveryResult)
+        assert not result.complete
+        assert result.n_attempts == 1  # budget burned; no escalation
+        assert result.data_length == len(self.PAYLOAD)
+
+    def test_generous_deadline_does_not_interfere(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f", coverage=3, retry=RetryPolicy(max_attempts=3, deadline_s=3600)
+        )
+        assert result.complete
+        assert result.data == self.PAYLOAD
+
+    def test_without_deadline_all_attempts_used(self):
+        archive = _archive()
+        archive.write("f", self.PAYLOAD)
+        result = archive.retrieve(
+            "f",
+            faults=FaultInjector(FaultSpec(cluster_dropout=1.0), seed=0),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        assert result.n_attempts == 3
