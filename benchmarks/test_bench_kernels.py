@@ -7,11 +7,13 @@ greedy-clustering end-to-end wall-clock under the ``python`` reference
 backend versus ``bitparallel``.  The JSON lands at the repo root so the
 kernel perf trajectory is recorded PR over PR.
 
-Two floors are asserted (they are the PR's acceptance criteria):
+Three floors are asserted (they are the PRs' acceptance criteria):
 
 * bit-parallel exact distance >= 5x the pure-Python DP at length 110;
 * clustering end-to-end >= 2x under ``bitparallel`` vs ``python``,
-  with bit-identical assignments.
+  with bit-identical assignments;
+* the batched one-vs-many sweep >= 10x scalar bit-parallel on a
+  4096-read batch of length-110 strands, bit-identical distances.
 """
 
 from __future__ import annotations
@@ -41,16 +43,22 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 STRAND_LENGTHS = (110, 220, 1000)
 
-KERNEL_BACKENDS = ("python", "numpy", "bitparallel")
+KERNEL_BACKENDS = ("python", "numpy", "bitparallel", "batched")
 
 BAND = 25
 
 #: Pairs timed per (kernel, backend, length) cell; long strands use fewer.
 PAIRS_PER_CELL = {110: 40, 220: 20, 1000: 4}
 
-#: Acceptance floors (ISSUE 3).
+#: Acceptance floors (ISSUE 3; batched floor from ISSUE 7).
 MIN_KERNEL_SPEEDUP = 5.0
 MIN_CLUSTER_SPEEDUP = 2.0
+MIN_BATCHED_SPEEDUP = 10.0
+
+#: One-vs-many batch size for the batched-backend floor: wide enough
+#: that NumPy per-op dispatch overhead is amortised across lanes (the
+#: sweep's per-pair cost keeps dropping up to ~4k lanes).
+BATCH_READS = 4096
 
 #: Clustering corpus shape: references x noisy copies each.
 CLUSTER_REFERENCES = 40
@@ -144,6 +152,36 @@ def test_bench_kernels_record():
     assert results["bitparallel"].assignments == results["python"].assignments
     clustering["speedup"] = clustering["python"] / clustering["bitparallel"]
 
+    # Batched one-vs-many floor: a paper-length reference against a
+    # 4096-read batch, scalar bit-parallel vs the uint64 batched sweep.
+    batch_rng = random.Random(101)
+    batch_channel = Channel(ground_truth_model(), random.Random(102))
+    batch_reference = "".join(batch_rng.choice("ACGT") for _ in range(110))
+    batch_reads = [
+        batch_channel.transmit(batch_reference) for _ in range(BATCH_READS)
+    ]
+    set_align_backend("bitparallel")
+    scalar_distances = edit_distances_one_to_many(batch_reference, batch_reads)
+    start = time.perf_counter()
+    edit_distances_one_to_many(batch_reference, batch_reads)
+    scalar_s = time.perf_counter() - start
+    set_align_backend("batched")
+    batched_distances = edit_distances_one_to_many(batch_reference, batch_reads)
+    batched_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        edit_distances_one_to_many(batch_reference, batch_reads)
+        batched_s = min(batched_s, time.perf_counter() - start)
+    set_align_backend(None)
+    assert batched_distances == scalar_distances
+    batched_record = {
+        "reads": BATCH_READS,
+        "strand_length": 110,
+        "bitparallel_ns_per_pair": scalar_s / BATCH_READS * 1e9,
+        "batched_ns_per_pair": batched_s / BATCH_READS * 1e9,
+        "speedup": scalar_s / batched_s,
+    }
+
     length_110 = kernels_record["110"]["edit_distance"]
     kernel_speedup = length_110["python"] / length_110["bitparallel"]
     record = stamp_record(
@@ -158,6 +196,7 @@ def test_bench_kernels_record():
                 "bitparallel_s": clustering["bitparallel"],
                 "speedup": clustering["speedup"],
             },
+            "batched_one_to_many": batched_record,
             "edit_distance_110_speedup": kernel_speedup,
         }
     )
@@ -173,4 +212,9 @@ def test_bench_kernels_record():
         f"clustering end-to-end is only {clustering['speedup']:.2f}x "
         f"under bitparallel (floor {MIN_CLUSTER_SPEEDUP}x; timings "
         f"recorded in {BENCH_JSON.name})"
+    )
+    assert batched_record["speedup"] >= MIN_BATCHED_SPEEDUP, (
+        f"batched one-vs-many sweep is only {batched_record['speedup']:.1f}x "
+        f"scalar bit-parallel on {BATCH_READS} length-110 reads (floor "
+        f"{MIN_BATCHED_SPEEDUP}x; timings recorded in {BENCH_JSON.name})"
     )

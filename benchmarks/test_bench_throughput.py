@@ -94,8 +94,13 @@ def test_bench_parallel_stages(warm_context, n_clusters):
 
     Each stage's parallel result is also checked bit-identical to its
     serial result — a speedup that changes the numbers would be a bug,
-    not a win.  The speedup assertion only runs on >= 4 cores (single-
-    and dual-core runners record timings but skip the check).
+    not a win.  When the machine caps ``workers`` at 1 the "parallel"
+    pass would run the identical serial code path, so it is not re-timed:
+    the recorded speedup is exactly 1.0 by construction instead of
+    timing noise (the committed 0.82–0.97x "speedups" were exactly that
+    noise).  The >= 1.5x assertion runs only on hosts with at least
+    ``BENCH_WORKERS`` cores; smaller hosts record timings, then *skip*
+    (visibly, not silently pass).
     """
     context = warm_context
     cpu_count = os.cpu_count() or 1
@@ -103,33 +108,37 @@ def test_bench_parallel_stages(warm_context, n_clusters):
     reconstruct_pool = context.real_at_coverage(10)
     stages = {}
 
-    serial_profile, serial_s = _timed(
-        ErrorProfile.from_pool, context.real_pool, 4, None, 1
-    )
-    parallel_profile, parallel_s = _timed(
-        ErrorProfile.from_pool, context.real_pool, 4, None, workers
+    def measure(run_stage):
+        """Time ``run_stage(workers)`` against ``run_stage(1)``.
+
+        Returns (serial result, parallel result, timings).  With one
+        worker the serial result and timing are reused verbatim.
+        """
+        serial_result, serial_s = _timed(run_stage, 1)
+        if workers <= 1:
+            timings = {"serial_s": serial_s, "parallel_s": serial_s}
+            return serial_result, serial_result, timings
+        parallel_result, parallel_s = _timed(run_stage, workers)
+        timings = {"serial_s": serial_s, "parallel_s": parallel_s}
+        return serial_result, parallel_result, timings
+
+    serial_profile, parallel_profile, stages["profile_fit"] = measure(
+        lambda n: ErrorProfile.from_pool(context.real_pool, 4, None, n)
     )
     assert parallel_profile.statistics == serial_profile.statistics
-    stages["profile_fit"] = {"serial_s": serial_s, "parallel_s": parallel_s}
 
     reconstructor = IterativeReconstruction()
-    serial_estimates, serial_s = _timed(
-        reconstructor.reconstruct_pool, reconstruct_pool, STRAND_LENGTH, 1
-    )
-    parallel_estimates, parallel_s = _timed(
-        reconstructor.reconstruct_pool, reconstruct_pool, STRAND_LENGTH, workers
+    serial_estimates, parallel_estimates, stages["reconstruct"] = measure(
+        lambda n: reconstructor.reconstruct_pool(
+            reconstruct_pool, STRAND_LENGTH, n
+        )
     )
     assert parallel_estimates == serial_estimates
-    stages["reconstruct"] = {"serial_s": serial_s, "parallel_s": parallel_s}
 
-    serial_curves, serial_s = _timed(
-        pre_reconstruction_curves, context.real_pool, 4, 1
-    )
-    parallel_curves, parallel_s = _timed(
-        pre_reconstruction_curves, context.real_pool, 4, workers
+    serial_curves, parallel_curves, stages["curves"] = measure(
+        lambda n: pre_reconstruction_curves(context.real_pool, 4, n)
     )
     assert parallel_curves == serial_curves
-    stages["curves"] = {"serial_s": serial_s, "parallel_s": parallel_s}
 
     for timings in stages.values():
         timings["speedup"] = (
@@ -177,11 +186,18 @@ def test_bench_parallel_stages(warm_context, n_clusters):
     assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
 
-    if cpu_count == 1:
-        pytest.skip("single-core runner: parallel stages fall back to serial")
-    if cpu_count >= BENCH_WORKERS:
-        assert stages["reconstruct"]["speedup"] >= MIN_RECONSTRUCT_SPEEDUP, (
-            f"reconstruct stage speedup {stages['reconstruct']['speedup']:.2f}x "
-            f"with {workers} workers is below {MIN_RECONSTRUCT_SPEEDUP}x "
-            f"(timings recorded in {BENCH_JSON.name})"
+    # Skip (never silently pass) below BENCH_WORKERS cores: a 2- or
+    # 3-core host can't be held to the 4-worker floor, but the record is
+    # already written above, cpu_count stamped, so the trajectory still
+    # shows what the machine did.
+    if cpu_count < BENCH_WORKERS:
+        pytest.skip(
+            f"host has {cpu_count} core(s) < {BENCH_WORKERS}: "
+            f"speedup floor not assertable (timings recorded with "
+            f"cpu_count in {BENCH_JSON.name})"
         )
+    assert stages["reconstruct"]["speedup"] >= MIN_RECONSTRUCT_SPEEDUP, (
+        f"reconstruct stage speedup {stages['reconstruct']['speedup']:.2f}x "
+        f"with {workers} workers is below {MIN_RECONSTRUCT_SPEEDUP}x "
+        f"(timings recorded in {BENCH_JSON.name})"
+    )

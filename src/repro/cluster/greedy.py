@@ -160,6 +160,10 @@ class GreedyClusterer:
 
     def _cluster(self, reads: Sequence[str]) -> GreedyClusteringResult:
         index = QGramIndex(q=self.q, bands=self.bands)
+        # One pool-wide FNV-1a sweep for every read's q-gram signature
+        # up front — the sweep then reuses each signature twice (candidate
+        # lookup and bucket registration) instead of hashing per call.
+        signatures = index.signatures(list(reads))
         assignments: list[int] = []
         representatives: list[str] = []
         members: list[list[int]] = []
@@ -167,28 +171,38 @@ class GreedyClusterer:
         for read_position, read in enumerate(reads):
             best_cluster = -1
             best_distance = self.distance_threshold + 1
-            candidate_clusters = {
-                assignments[candidate] for candidate in index.candidates(read)
-            }
-            # Compile the read once: its bit-parallel pattern masks are
-            # reused across every candidate representative (the sweep's
-            # hot path — one banded comparison per candidate cluster).
+            candidate_clusters = list(
+                {
+                    assignments[candidate]
+                    for candidate in index.candidates(
+                        read, signature=signatures[read_position]
+                    )
+                }
+            )
+            # Compile the read once: its pattern masks are reused across
+            # every candidate representative (the sweep's hot path).  The
+            # candidates go through one banded one-vs-many call so the
+            # batched backend can sweep them together; iteration order and
+            # the strict < first-minimum tie-break match the prior
+            # one-at-a-time loop exactly.
             pattern = CompiledPattern(read)
-            for cluster_index in candidate_clusters:
-                comparisons += 1
-                distance = pattern.banded_distance(
-                    representatives[cluster_index], self.distance_threshold
+            if candidate_clusters:
+                comparisons += len(candidate_clusters)
+                distances = pattern.banded_distances(
+                    [representatives[c] for c in candidate_clusters],
+                    self.distance_threshold,
                 )
-                if distance < best_distance:
-                    best_distance = distance
-                    best_cluster = cluster_index
+                for cluster_index, distance in zip(candidate_clusters, distances):
+                    if distance < best_distance:
+                        best_distance = distance
+                        best_cluster = cluster_index
             if best_cluster < 0:
                 best_cluster = len(representatives)
                 representatives.append(read)
                 members.append([])
             assignments.append(best_cluster)
             members[best_cluster].append(read_position)
-            index.add(read_position, read)
+            index.add(read_position, read, signature=signatures[read_position])
 
         merged_assignments, merged_representatives, merge_comparisons = (
             self._merge_fragments(assignments, representatives)
@@ -219,20 +233,41 @@ class GreedyClusterer:
             return node
 
         representative_index = QGramIndex(q=self.q, bands=self.bands)
+        rep_signatures = representative_index.signatures(representatives)
         comparisons = 0
         for cluster_index, representative in enumerate(representatives):
             pattern = CompiledPattern(representative)
-            for candidate in representative_index.candidates(representative):
+            # Distances to every candidate are precomputed in one batched
+            # banded call; the union-find walk below then consumes them in
+            # the original order.  A candidate already unioned with this
+            # cluster wastes one precomputed distance, but ``comparisons``
+            # still counts exactly the pairs the serial loop would have
+            # compared, and the union decisions are unchanged.
+            candidates = list(
+                representative_index.candidates(
+                    representative, signature=rep_signatures[cluster_index]
+                )
+            )
+            distances = (
+                pattern.banded_distances(
+                    [representatives[c] for c in candidates],
+                    self.distance_threshold,
+                )
+                if candidates
+                else []
+            )
+            for candidate, distance in zip(candidates, distances):
                 root_a, root_b = find(cluster_index), find(candidate)
                 if root_a == root_b:
                     continue
                 comparisons += 1
-                distance = pattern.banded_distance(
-                    representatives[candidate], self.distance_threshold
-                )
                 if distance <= self.distance_threshold:
                     parent[root_a] = root_b
-            representative_index.add(cluster_index, representative)
+            representative_index.add(
+                cluster_index,
+                representative,
+                signature=rep_signatures[cluster_index],
+            )
 
         # Compact the surviving roots into dense cluster ids.
         root_to_dense: dict[int, int] = {}

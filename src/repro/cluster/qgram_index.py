@@ -61,6 +61,65 @@ def _stable_hash(text: str, seed: int) -> int:
     return value
 
 
+def _batched_min_hashes(
+    sequences: Sequence[str], q: int, bands: int
+) -> list[list[int]]:
+    """Min-hash signatures for a whole pool of sequences in one sweep.
+
+    Every sequence of length >= ``q`` contributes its sliding q-gram
+    windows to one flat code array; the FNV-1a recurrence then runs over
+    a single ``(bands, total_windows)`` uint32 matrix — ``q`` XOR/multiply
+    steps for the entire pool — and ``np.minimum.reduceat`` collapses the
+    window hashes back to one minimum per (band, sequence).  Sequences
+    shorter than ``q`` hash themselves as their only gram (matching
+    :func:`qgrams`) and are handled per-read; empty sequences sign
+    :data:`EMPTY_SIGNATURE`.  Bit-identical to calling
+    :func:`_vectorised_min_hashes` per sequence.
+    """
+    results: list[list[int] | None] = [None] * len(sequences)
+    long_positions: list[int] = []
+    long_sequences: list[str] = []
+    for position, sequence in enumerate(sequences):
+        if not sequence:
+            results[position] = [EMPTY_SIGNATURE] * bands
+        elif len(sequence) < q:
+            results[position] = _vectorised_min_hashes(sequence, q, bands)
+        else:
+            long_positions.append(position)
+            long_sequences.append(sequence)
+    if long_sequences:
+        flat = np.frombuffer(
+            "".join(long_sequences).encode("utf-32-le"), dtype=np.uint32
+        )
+        lengths = np.fromiter(
+            (len(sequence) for sequence in long_sequences),
+            dtype=np.int64,
+            count=len(long_sequences),
+        )
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        window_counts = lengths - q + 1
+        bounds = np.concatenate(([0], np.cumsum(window_counts)))
+        total_windows = int(bounds[-1])
+        # Flat start offset of every q-gram window across the pool:
+        # repeat each sequence's start per window, then add the window's
+        # rank within its sequence.
+        within = np.arange(total_windows, dtype=np.int64) - np.repeat(
+            bounds[:-1], window_counts
+        )
+        window_starts = np.repeat(starts, window_counts) + within
+        values = np.empty((bands, total_windows), dtype=np.uint32)
+        for band in range(bands):
+            values[band] = (_FNV_OFFSET ^ (band * _FNV_PRIME)) & 0xFFFFFFFF
+        prime = np.uint32(_FNV_PRIME)
+        for offset in range(q):
+            values ^= flat[window_starts + offset]
+            values *= prime
+        minima = np.minimum.reduceat(values, bounds[:-1], axis=1)
+        for column, position in enumerate(long_positions):
+            results[position] = [int(value) for value in minima[:, column]]
+    return results  # type: ignore[return-value]
+
+
 def _vectorised_min_hashes(sequence: str, q: int, bands: int) -> list[int]:
     """All ``bands`` min-hash values in one vectorised pass.
 
@@ -127,19 +186,47 @@ class QGramIndex:
             for band in range(self.bands)
         ]
 
-    def add(self, read_index: int, sequence: str) -> None:
+    def signatures(self, sequences: Sequence[str]) -> list[list[int]]:
+        """Signatures for a whole pool of reads at once.
+
+        One flat FNV-1a sweep over every q-gram window in the pool
+        instead of one :func:`_vectorised_min_hashes` call per read —
+        the per-read path pays NumPy dispatch overhead per sequence,
+        which dominates at paper-scale read counts.  Bit-identical to
+        ``[self.signature(s) for s in sequences]`` on every backend.
+        """
+        if kernels.align_backend() == "python":
+            return [self.signature(sequence) for sequence in sequences]
+        return _batched_min_hashes(sequences, self.q, self.bands)
+
+    def add(
+        self,
+        read_index: int,
+        sequence: str,
+        signature: list[int] | None = None,
+    ) -> None:
         """Register a read under its signature buckets (empty reads are
-        counted but never bucketed — they match nothing)."""
-        for band, value in enumerate(self.signature(sequence)):
+        counted but never bucketed — they match nothing).
+
+        ``signature`` lets callers that precomputed pool-wide signatures
+        via :meth:`signatures` skip recomputing them here.
+        """
+        if signature is None:
+            signature = self.signature(sequence)
+        for band, value in enumerate(signature):
             if value == EMPTY_SIGNATURE:
                 continue
             self._buckets[band][value].append(read_index)
         self._count += 1
 
-    def candidates(self, sequence: str) -> set[int]:
+    def candidates(
+        self, sequence: str, signature: list[int] | None = None
+    ) -> set[int]:
         """Indices of previously added reads sharing any bucket."""
+        if signature is None:
+            signature = self.signature(sequence)
         found: set[int] = set()
-        for band, value in enumerate(self.signature(sequence)):
+        for band, value in enumerate(signature):
             if value == EMPTY_SIGNATURE:
                 continue
             found.update(self._buckets[band].get(value, ()))
@@ -164,8 +251,9 @@ class QGramIndex:
 
 
 def build_index(reads: Sequence[str], q: int = 11, bands: int = 4) -> QGramIndex:
-    """Index every read of a read-out in one pass."""
+    """Index every read of a read-out in one pass (signatures batched)."""
     index = QGramIndex(q=q, bands=bands)
-    for read_index, sequence in enumerate(reads):
-        index.add(read_index, sequence)
+    signatures = index.signatures(list(reads))
+    for read_index, (sequence, signature) in enumerate(zip(reads, signatures)):
+        index.add(read_index, sequence, signature=signature)
     return index

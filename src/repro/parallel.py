@@ -9,6 +9,9 @@ module provides the one primitive those stages share:
 * :func:`parallel_map` — a chunked ``ProcessPoolExecutor`` map whose
   results are merged **in input order**, so any stage whose per-item work
   is deterministic produces bit-identical output at any worker count;
+  inputs too small to amortise the pool (fewer than
+  ``REPRO_PARALLEL_MIN_ITEMS`` items, one worker, one CPU, or a single
+  chunk) run as a plain serial loop with identical results;
 * worker-count resolution — the ``REPRO_WORKERS`` environment variable
   (``0`` means "all cores") overridden per-process by the CLI's
   ``--workers`` flag via :func:`set_default_workers`;
@@ -53,12 +56,27 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: one-CPU runners).
 FORCE_ENV = "REPRO_FORCE_PARALLEL"
 
+#: Environment variable naming the minimum item count worth dispatching
+#: to the pool.  Below it, pool startup plus pickling costs more than the
+#: work itself — the ``BENCH_throughput`` sub-1× "speedups" were exactly
+#: this overhead measured on inputs too small to parallelise.
+MIN_ITEMS_ENV = "REPRO_PARALLEL_MIN_ITEMS"
+
+#: Default for :data:`MIN_ITEMS_ENV`.  Kept small: the sharded stages
+#: routinely dispatch one item per shard (4 shards is a common test
+#: configuration), and those items are coarse enough to amortise the
+#: pool even at this count.
+DEFAULT_MIN_ITEMS = 4
+
 #: Process-wide override installed by the CLI's ``--workers`` flag.
 _default_workers_override: int | None = None
 
 #: Chunks per worker when no chunk size is given: small enough to
 #: balance uneven per-cluster cost, large enough to amortise pickling.
 _CHUNKS_PER_WORKER = 4
+
+#: Malformed ``REPRO_PARALLEL_MIN_ITEMS`` values already warned about.
+_warned_min_items_values: set[str] = set()
 
 
 def set_default_workers(workers: int | None) -> None:
@@ -115,6 +133,33 @@ def _force_parallel() -> bool:
     return os.environ.get(FORCE_ENV, "").lower() in {"1", "true", "yes", "on"}
 
 
+def min_parallel_items() -> int:
+    """Minimum item count worth dispatching to the process pool.
+
+    Read from ``REPRO_PARALLEL_MIN_ITEMS`` (default
+    :data:`DEFAULT_MIN_ITEMS`); malformed or negative values warn once
+    and fall back to the default.
+    """
+    raw = os.environ.get(MIN_ITEMS_ENV)
+    if raw is None:
+        return DEFAULT_MIN_ITEMS
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 0:
+        if raw not in _warned_min_items_values:
+            _warned_min_items_values.add(raw)
+            _logger.warning(
+                "invalid_min_items_env",
+                variable=MIN_ITEMS_ENV,
+                value=raw,
+                fallback=DEFAULT_MIN_ITEMS,
+            )
+        return DEFAULT_MIN_ITEMS
+    return value
+
+
 def default_chunk_size(n_items: int, workers: int) -> int:
     """Chunk size splitting ``n_items`` into ~4 chunks per worker."""
     if n_items <= 0:
@@ -151,12 +196,15 @@ def parallel_map(
     merged back in input order, so a deterministic ``fn`` makes the
     whole map deterministic at any worker count.
 
-    Falls back to a plain serial loop when the resolved worker count is
-    <= 1, when the machine has a single CPU, or when there are fewer
-    than two items (pool startup would dominate).
-    Pass ``force=True`` (or set ``REPRO_FORCE_PARALLEL=1``) to use the
-    pool regardless — the test suite does this to exercise pickling on
-    single-core runners.
+    Falls back to a plain serial loop — bit-identical results, zero pool
+    or pickling overhead — whenever dispatching cannot pay for itself:
+    the resolved worker count is <= 1, the machine has a single CPU, the
+    input is smaller than :func:`min_parallel_items` (tunable via
+    ``REPRO_PARALLEL_MIN_ITEMS``), or an explicit ``chunk_size`` covers
+    the whole input in one chunk (a one-task pool is a serial loop plus
+    process startup).  Pass ``force=True`` (or set
+    ``REPRO_FORCE_PARALLEL=1``) to use the pool regardless — the test
+    suite does this to exercise pickling on single-core runners.
 
     Args:
         fn: picklable callable applied to each item (a module-level
@@ -165,12 +213,18 @@ def parallel_map(
         workers: worker processes; ``None`` uses :func:`default_workers`,
             0 uses all cores.
         chunk_size: items per pool task; defaults to ~4 chunks per worker.
-        force: bypass the single-core / small-input serial fallback.
+        force: bypass the serial fast path entirely.
     """
     workers = resolve_workers(workers)
     force = force or _force_parallel()
     if not force:
-        if workers <= 1 or (os.cpu_count() or 1) == 1 or len(items) < 2:
+        if (
+            workers <= 1
+            or (os.cpu_count() or 1) == 1
+            or len(items) < 2
+            or len(items) < min_parallel_items()
+            or (chunk_size is not None and len(items) <= chunk_size)
+        ):
             return [fn(item) for item in items]
     elif workers <= 1:
         workers = 2

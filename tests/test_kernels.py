@@ -28,8 +28,11 @@ from repro.cluster.greedy import GreedyClusterer
 from repro.cluster.qgram_index import QGramIndex
 from repro.exceptions import ConfigError
 
-#: The concrete backends (auto is an alias resolving to bitparallel/numpy).
-CONCRETE_BACKENDS = ("python", "numpy", "bitparallel")
+#: The concrete backends (auto is an alias resolving to bitparallel for
+#: pairwise calls and batched for large one-vs-many batches).  Pairwise
+#: calls under ``batched`` fall through to the scalar bit-parallel
+#: kernel, so including it here exercises that fall-through too.
+CONCRETE_BACKENDS = ("python", "numpy", "bitparallel", "batched")
 
 BANDS = (0, 1, 3, 25)
 
@@ -210,9 +213,134 @@ class TestClusteringIdentity:
         for sequence in ["", "ACG", _strand(rng, 7), _strand(rng, 8), _strand(rng, 110)]:
             set_align_backend("python")
             expected = index.signature(sequence)
-            for backend in ("numpy", "bitparallel", "auto"):
+            for backend in ("numpy", "bitparallel", "batched", "auto"):
                 set_align_backend(backend)
                 assert index.signature(sequence) == expected, (sequence, backend)
+
+    def test_pool_signatures_match_per_read(self):
+        """The pool-wide batched FNV-1a sweep is bit-identical to the
+        per-read signature path, across backends and edge lengths."""
+        rng = random.Random(29)
+        pool = [
+            "",
+            "A",
+            "ACGTN",
+            _strand(rng, 7),
+            _strand(rng, 8),
+            _strand(rng, 9),
+            "acgtacgtac",
+            "Aé世\U0001F600BACGT",
+            _strand(rng, 110),
+            _strand(rng, 111),
+            _strand(rng, 500),
+        ] + [_strand(rng, rng.randint(0, 120)) for _ in range(60)]
+        index = QGramIndex(q=8, bands=8)
+        set_align_backend("python")
+        expected = [index.signature(sequence) for sequence in pool]
+        for backend in ("python", "numpy", "bitparallel", "batched", "auto"):
+            set_align_backend(backend)
+            assert index.signatures(pool) == expected, backend
+
+
+class TestBatchedBackendEquivalence:
+    """Fuzz the batched uint64 sweep against the reference DP (ISSUE 7).
+
+    Lengths straddle the word boundary and the paper's strand length;
+    alphabets include N, lowercase, and astral-plane unicode; bands
+    include the degenerate 0 and band >= max(len) cases.  Everything is
+    checked bit-identical to the pure-Python DP.
+    """
+
+    LENGTHS = (0, 1, 109, 110, 111, 500)
+    ALPHABETS = ("ACGT", "ACGTN", "acgt", "Aé世\U0001F600T")
+
+    @staticmethod
+    def _noised(rng: random.Random, reference: str, alphabet: str) -> str:
+        out = list(reference)
+        for _ in range(rng.randint(0, 12)):
+            if not out:
+                break
+            draw, position = rng.random(), rng.randrange(len(out))
+            if draw < 0.34:
+                out[position] = rng.choice(alphabet)
+            elif draw < 0.67:
+                del out[position]
+            else:
+                out.insert(position, rng.choice(alphabet))
+        return "".join(out)
+
+    def _batch(
+        self, rng: random.Random, reference: str, alphabet: str
+    ) -> list[str]:
+        reads = ["", reference]
+        reads += [self._noised(rng, reference, alphabet) for _ in range(10)]
+        reads += [
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 130)))
+            for _ in range(4)
+        ]
+        return reads
+
+    def test_batched_matches_reference_dp(self):
+        rng = random.Random(20260808)
+        set_align_backend("batched")
+        for length in self.LENGTHS:
+            for alphabet in self.ALPHABETS:
+                reference = "".join(
+                    rng.choice(alphabet) for _ in range(length)
+                )
+                reads = self._batch(rng, reference, alphabet)
+                expected = [
+                    kernels._python_distance(reference, read) for read in reads
+                ]
+                pattern = CompiledPattern(reference)
+                assert pattern.distances(reads) == expected, (length, alphabet)
+                for band in (0, 1, 3, 25, 1000):
+                    assert pattern.banded_distances(reads, band) == [
+                        min(distance, band + 1) for distance in expected
+                    ], (length, alphabet, band)
+
+    def test_one_to_many_empty_batch(self):
+        set_align_backend("batched")
+        assert edit_distances_one_to_many("ACGT", []) == []
+        assert edit_distances_one_to_many("ACGT", [], band=3) == []
+
+    def test_auto_threshold_dispatch(self):
+        """``auto`` sweeps batches of >= _BATCH_MIN_READS reads; the
+        explicit ``batched`` backend sweeps any non-empty batch."""
+        assert kernels._batch_selected("batched", 1)
+        assert kernels._batch_selected("auto", kernels._BATCH_MIN_READS)
+        assert not kernels._batch_selected("auto", kernels._BATCH_MIN_READS - 1)
+        assert not kernels._batch_selected("bitparallel", 10_000)
+
+    def test_auto_large_batch_matches_reference(self):
+        rng = random.Random(31)
+        reference = _strand(rng, 110)
+        reads = [_ids_noised(rng, reference) for _ in range(kernels._BATCH_MIN_READS + 5)]
+        expected = [kernels._python_distance(reference, read) for read in reads]
+        set_align_backend("auto")
+        assert edit_distances_one_to_many(reference, reads) == expected
+        assert edit_distances_one_to_many(reference, reads, band=25) == [
+            min(distance, 26) for distance in expected
+        ]
+
+    def test_greedy_identity_under_env_backend(self, monkeypatch):
+        rng = random.Random(37)
+        references = [_strand(rng, 110) for _ in range(12)]
+        reads = [
+            _ids_noised(rng, reference)
+            for reference in references
+            for _ in range(5)
+        ]
+        rng.shuffle(reads)
+        set_align_backend("python")
+        baseline = GreedyClusterer().cluster(reads)
+        monkeypatch.setenv(kernels.ALIGN_BACKEND_ENV, "batched")
+        set_align_backend(None)
+        assert kernels.align_backend() == "batched"
+        result = GreedyClusterer().cluster(reads)
+        assert result.assignments == baseline.assignments
+        assert result.representatives == baseline.representatives
+        assert result.comparisons == baseline.comparisons
 
 
 class TestFastExits:

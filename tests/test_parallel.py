@@ -86,6 +86,57 @@ class TestParallelMap:
             parallel_map(partial(divmod, 1), [1, 0], workers=2)
 
 
+class TestSerialFastPath:
+    """The auto-serial dispatch fixes: small inputs, single chunks, and
+    the ``REPRO_PARALLEL_MIN_ITEMS`` threshold all skip the pool while
+    staying bit-identical to the pool's output."""
+
+    def test_below_min_items_runs_serial(self, monkeypatch):
+        def explode(*_args, **_kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("the pool must not start for tiny inputs")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        items = list(range(parallel.DEFAULT_MIN_ITEMS - 1))
+        assert parallel_map(_square, items, workers=4) == [
+            value * value for value in items
+        ]
+
+    def test_single_chunk_runs_serial(self, monkeypatch):
+        def explode(*_args, **_kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("a one-chunk pool is pure overhead")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        items = list(range(8))
+        assert parallel_map(_square, items, workers=4, chunk_size=8) == [
+            value * value for value in items
+        ]
+
+    def test_min_items_env_raises_threshold(self, monkeypatch):
+        def explode(*_args, **_kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("inputs below the env threshold stay serial")
+
+        monkeypatch.setenv(parallel.MIN_ITEMS_ENV, "50")
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        items = list(range(49))
+        assert parallel_map(_square, items, workers=4) == [
+            value * value for value in items
+        ]
+
+    def test_min_items_env_zero_disables_threshold(self, monkeypatch):
+        monkeypatch.setenv(parallel.MIN_ITEMS_ENV, "0")
+        assert parallel.min_parallel_items() == 0
+
+    def test_min_items_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(parallel.MIN_ITEMS_ENV, "lots")
+        assert parallel.min_parallel_items() == parallel.DEFAULT_MIN_ITEMS
+        monkeypatch.setenv(parallel.MIN_ITEMS_ENV, "-3")
+        assert parallel.min_parallel_items() == parallel.DEFAULT_MIN_ITEMS
+
+    def test_force_bypasses_all_fast_paths(self, force_pool):
+        items = [1, 2]
+        assert parallel_map(_square, items, workers=1, chunk_size=2) == [1, 4]
+
+
 class TestWorkerResolution:
     def test_env_default(self, monkeypatch):
         monkeypatch.setenv(parallel.WORKERS_ENV, "3")
