@@ -3,7 +3,8 @@
 Unlike the table/figure benches these measure throughput of the library's
 kernels: channel transmission, maximum-likelihood alignment, gestalt
 matching, and each reconstruction algorithm on a fixed cluster — plus
-the serial-vs-parallel stage comparison, whose timings are written to
+the serial-vs-parallel stage comparison (dataset generation, profile
+fit, reconstruction, and curves), whose timings are written to
 ``BENCH_throughput.json`` at the repo root so the perf trajectory of the
 per-cluster stages is recorded PR over PR.
 """
@@ -23,7 +24,8 @@ from repro.observability.bench import assert_stamped, stamp_record
 from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile
-from repro.data.nanopore import ground_truth_model
+from repro.core.simulator import Simulator
+from repro.data.nanopore import ground_truth_coverage, ground_truth_model
 from repro.metrics.curves import pre_reconstruction_curves
 from repro.reconstruct.bma import BMALookahead
 from repro.reconstruct.divider_bma import DividerBMA
@@ -121,6 +123,19 @@ def test_bench_parallel_stages(warm_context, n_clusters):
         parallel_result, parallel_s = _timed(run_stage, workers)
         timings = {"serial_s": serial_s, "parallel_s": parallel_s}
         return serial_result, parallel_result, timings
+
+    # Dataset generation at paper coverage: the per-cluster-seeded mode
+    # (bit-identical at any worker count) over the context's references.
+    simulator = Simulator(
+        ground_truth_model(),
+        coverage=ground_truth_coverage(),
+        seed=97,
+        per_cluster_seeds=True,
+    )
+    serial_pool, parallel_pool, stages["simulate"] = measure(
+        lambda n: simulator.simulate(context.real_pool.references, workers=n)
+    )
+    assert parallel_pool == serial_pool
 
     serial_profile, parallel_profile, stages["profile_fit"] = measure(
         lambda n: ErrorProfile.from_pool(context.real_pool, 4, None, n)

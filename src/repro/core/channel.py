@@ -11,16 +11,37 @@ reference strand is transmitted ``coverage`` times, and each transmission
 walks the strand base by base, rolling a single uniform variate per
 position against a precomputed cumulative *event ladder* (burst ->
 second-order errors -> long deletion -> substitution -> insertion ->
-deletion -> no error).  Ladders are cached per strand length, so the hot
-loop does one ``random()`` call and one short scan per base.
+deletion -> no error).  Ladders are cached per model and strand length,
+so the hot loop does one ``random()`` call and one short scan per base.
+
+Two execution backends share that draw-order contract bit for bit: the
+``python`` reference loop below, and the sparse-event NumPy sweep in
+:mod:`repro.core.channel_backend` (selected via
+``REPRO_CHANNEL_BACKEND`` / ``--channel-backend`` /
+:func:`repro.core.channel_backend.set_channel_backend`).  Both consume
+the same uniform variates in the same order from ``self.rng``, so seeds
+remain portable across backends.
 """
 
 from __future__ import annotations
 
+import contextlib
 import random
+import weakref
 from collections.abc import Sequence
 
 from repro.core.alphabet import BASES, homopolymer_mask
+from repro.core.channel_backend import (
+    AUTO_MIN_DRAWS,
+    ReferencePrep,
+    UniformBulkSource,
+    VectorTables,
+    channel_backend,
+    homopolymer_mask_fast,
+    rng_supports_bulk,
+    transmit_batch,
+    transmit_vectorised,
+)
 from repro.core.coverage import CoverageModel
 from repro.core.errors import ErrorModel
 from repro.core.strand import Cluster, StrandPool
@@ -35,6 +56,30 @@ _DELETION = ("deletion",)
 # One ladder per (base, position): (total_probability, [(cum, event), ...]).
 _Ladder = tuple[float, list[tuple[float, tuple]]]
 
+#: Shared per-model caches, keyed by ``id(model)`` with a weakref
+#: callback evicting the entry when the model is collected.
+#: ``ErrorModel`` is a frozen dataclass with dict-valued fields, so it
+#: is neither hashable (no ``WeakKeyDictionary``) nor mutable (no
+#: instance attribute) — an id-keyed registry is the remaining option
+#: that keeps ladders shared across every ``Channel`` over the same
+#: model object, including the fresh per-cluster channels created by
+#: ``per_cluster_seeds`` workers.
+_MODEL_CACHES: dict[int, tuple[weakref.ref, dict]] = {}
+
+
+def _shared_model_cache(model: ErrorModel) -> dict:
+    key = id(model)
+    entry = _MODEL_CACHES.get(key)
+    if entry is not None:
+        return entry[1]
+    cache: dict = {}
+    try:
+        ref = weakref.ref(model, lambda _ref, _key=key: _MODEL_CACHES.pop(_key, None))
+    except TypeError:  # un-weakrefable model subclass: correct, just uncached
+        return cache
+    _MODEL_CACHES[key] = (ref, cache)
+    return cache
+
 
 class Channel:
     """A stochastic IDS channel parameterised by an :class:`ErrorModel`.
@@ -48,7 +93,12 @@ class Channel:
     def __init__(self, model: ErrorModel, rng: random.Random | None = None) -> None:
         self.model = model
         self.rng = rng if rng is not None else random.Random()
-        self._ladder_cache: dict[int, dict[str, list[_Ladder]]] = {}
+        # Single-entry reference-local caches: pool generation transmits
+        # the same reference ``coverage`` times back to back, so the mask
+        # and the per-position prep only need the most recent strand.
+        self._mask_entry: tuple[str, list[bool]] | None = None
+        self._prep_entry: ReferencePrep | None = None
+        self._active_source: UniformBulkSource | None = None
 
     # ---------------------------------------------------------------- #
     # Public API
@@ -56,6 +106,147 @@ class Channel:
 
     def transmit(self, reference: str) -> str:
         """Transmit one strand through the channel, returning a noisy copy."""
+        source = self._active_source
+        if source is not None and source.rng is self.rng:
+            return transmit_vectorised(
+                self, reference, source, self._reference_prep(reference)
+            )
+        if self._resolve_backend(len(reference)) == "vectorised":
+            with self._bulk_source(len(reference) + 16) as bulk:
+                return transmit_vectorised(
+                    self, reference, bulk, self._reference_prep(reference)
+                )
+        return self._transmit_python(reference)
+
+    def transmit_many(self, reference: str, coverage: int) -> list[str]:
+        """Generate ``coverage`` independent noisy copies of one strand."""
+        if coverage < 0:
+            raise ValueError(f"coverage must be non-negative, got {coverage}")
+        source = self._active_source
+        if source is not None and source.rng is self.rng:
+            return transmit_batch(
+                self, reference, coverage, source, self._reference_prep(reference)
+            )
+        draws_hint = len(reference) * coverage
+        if self._resolve_backend(draws_hint) == "vectorised":
+            with self._bulk_source(draws_hint + 64) as bulk:
+                return transmit_batch(
+                    self, reference, coverage, bulk, self._reference_prep(reference)
+                )
+        return [self._transmit_python(reference) for _ in range(coverage)]
+
+    def transmit_cluster(self, reference: str, coverage: int) -> Cluster:
+        """Generate one cluster: the reference plus ``coverage`` noisy copies."""
+        return Cluster(reference, self.transmit_many(reference, coverage))
+
+    def transmit_pool(
+        self, references: Sequence[str], coverage_model: CoverageModel
+    ) -> StrandPool:
+        """Transmit a whole pool of references with per-cluster coverages
+        drawn from ``coverage_model`` (pseudo-clustered output,
+        Section 3.1)."""
+        # Coverages are drawn from the raw RNG *before* any bulk source
+        # opens — the serial draw order is coverages first, then rolls.
+        coverages = coverage_model.draw(len(references), self.rng)
+        draws_hint = sum(
+            len(reference) * coverage
+            for reference, coverage in zip(references, coverages)
+        )
+        if self._resolve_backend(draws_hint) == "vectorised":
+            with self._bulk_source(draws_hint + 64):
+                return StrandPool(
+                    [
+                        self.transmit_cluster(reference, coverage)
+                        for reference, coverage in zip(references, coverages)
+                    ]
+                )
+        return StrandPool(
+            [
+                self.transmit_cluster(reference, coverage)
+                for reference, coverage in zip(references, coverages)
+            ]
+        )
+
+    # ---------------------------------------------------------------- #
+    # Backend dispatch
+    # ---------------------------------------------------------------- #
+
+    def _resolve_backend(self, draws_hint: int) -> str:
+        """Pick the execution backend for a call expected to consume
+        roughly ``draws_hint`` uniform variates.
+
+        ``python`` and ``vectorised`` are honoured directly (the latter
+        silently degrades to the reference loop for RNGs whose state the
+        bulk source cannot mirror — output is bit-identical either way).
+        ``auto`` uses the sweep only when the transplant overhead
+        amortises (:data:`AUTO_MIN_DRAWS`).
+        """
+        name = channel_backend()
+        if name == "python" or not rng_supports_bulk(self.rng):
+            return "python"
+        if name == "vectorised":
+            return "vectorised"
+        return "vectorised" if draws_hint >= AUTO_MIN_DRAWS else "python"
+
+    @contextlib.contextmanager
+    def _bulk_source(self, hint: int | None = None):
+        """Open a :class:`UniformBulkSource` over ``self.rng`` for the
+        duration of a bulk transmission, re-entrantly: nested calls (e.g.
+        ``transmit_pool`` -> ``transmit_many``) reuse the outer source so
+        the state transplant happens once per pool, not once per cluster.
+        """
+        existing = self._active_source
+        if existing is not None and existing.rng is self.rng:
+            yield existing
+            return
+        source = UniformBulkSource(self.rng, hint)
+        self._active_source = source
+        try:
+            yield source
+        finally:
+            self._active_source = None
+            source.close()
+
+    # ---------------------------------------------------------------- #
+    # Reference-local caches
+    # ---------------------------------------------------------------- #
+
+    def _mask_for(self, reference: str) -> list[bool]:
+        """``homopolymer_mask(reference)``, cached across the coverage
+        copies of the same strand."""
+        entry = self._mask_entry
+        if entry is not None and entry[0] == reference:
+            return entry[1]
+        mask = homopolymer_mask_fast(reference)
+        if mask is None:  # non-ASCII strand: reference implementation
+            mask = homopolymer_mask(reference)
+        self._mask_entry = (reference, mask)
+        return mask
+
+    def _reference_prep(self, reference: str) -> ReferencePrep:
+        """Per-reference tables for the vectorised walk (exact thresholds,
+        ladders, mask), cached across the coverage copies of the strand."""
+        entry = self._prep_entry
+        if entry is not None and entry.reference == reference:
+            return entry
+        length = len(reference)
+        tables = self._tables(length)
+        vector = self._vector_tables(length, tables)
+        mask = (
+            self._mask_for(reference)
+            if self.model.homopolymer_factor != 1.0
+            else None
+        )
+        prep = ReferencePrep(reference, vector, tables, mask)
+        self._prep_entry = prep
+        return prep
+
+    # ---------------------------------------------------------------- #
+    # Reference (python) transmit loop
+    # ---------------------------------------------------------------- #
+
+    def _transmit_python(self, reference: str) -> str:
+        """The serial reference loop: one ``rng.random()`` per position."""
         model = self.model
         rng = self.rng
         length = len(reference)
@@ -63,7 +254,7 @@ class Channel:
             return ""
         tables = self._tables(length)
         mask = (
-            homopolymer_mask(reference)
+            self._mask_for(reference)
             if model.homopolymer_factor != 1.0
             else None
         )
@@ -91,43 +282,30 @@ class Channel:
                 output.append(base)
                 position += 1
                 continue
-            position = self._apply_event(event, reference, position, output)
+            position = self._apply_event(event, reference, position, output, rng)
         return "".join(output)
-
-    def transmit_many(self, reference: str, coverage: int) -> list[str]:
-        """Generate ``coverage`` independent noisy copies of one strand."""
-        if coverage < 0:
-            raise ValueError(f"coverage must be non-negative, got {coverage}")
-        return [self.transmit(reference) for _ in range(coverage)]
-
-    def transmit_cluster(self, reference: str, coverage: int) -> Cluster:
-        """Generate one cluster: the reference plus ``coverage`` noisy copies."""
-        return Cluster(reference, self.transmit_many(reference, coverage))
-
-    def transmit_pool(
-        self, references: Sequence[str], coverage_model: CoverageModel
-    ) -> StrandPool:
-        """Transmit a whole pool of references with per-cluster coverages
-        drawn from ``coverage_model`` (pseudo-clustered output,
-        Section 3.1)."""
-        coverages = coverage_model.draw(len(references), self.rng)
-        return StrandPool(
-            [
-                self.transmit_cluster(reference, coverage)
-                for reference, coverage in zip(references, coverages)
-            ]
-        )
 
     # ---------------------------------------------------------------- #
     # Event execution
     # ---------------------------------------------------------------- #
 
     def _apply_event(
-        self, event: tuple, reference: str, position: int, output: list[str]
+        self,
+        event: tuple,
+        reference: str,
+        position: int,
+        output: list[str],
+        rng=None,
     ) -> int:
-        """Apply one channel event; returns the next reference position."""
+        """Apply one channel event; returns the next reference position.
+
+        ``rng`` may be any object with a ``random()`` method — the raw
+        channel RNG on the python backend, or the bulk source's scalar
+        shim on the vectorised backend (same variates, same order).
+        """
         model = self.model
-        rng = self.rng
+        if rng is None:
+            rng = self.rng
         base = reference[position]
         tag = event[0]
         if tag == "substitution":
@@ -154,15 +332,16 @@ class Channel:
             output.append(error.replacement)
             return position + 1
         if tag == "burst":
-            return self._apply_burst(reference, position, output)
+            return self._apply_burst(reference, position, output, rng)
         raise RuntimeError(f"unknown channel event {event!r}")  # pragma: no cover
 
     def _apply_burst(
-        self, reference: str, position: int, output: list[str]
+        self, reference: str, position: int, output: list[str], rng=None
     ) -> int:
         """Nanopore burst: corrupt >= burst_min_length consecutive bases."""
         model = self.model
-        rng = self.rng
+        if rng is None:
+            rng = self.rng
         run_length = model.burst_min_length
         while rng.random() < model.burst_continue:
             run_length += 1
@@ -179,11 +358,30 @@ class Channel:
     # ---------------------------------------------------------------- #
 
     def _tables(self, length: int) -> dict[str, list[_Ladder]]:
-        """Cumulative event ladders for every (base, position), cached per
-        strand length."""
-        cached = self._ladder_cache.get(length)
+        """Cumulative event ladders for every (base, position), shared
+        across all channels over the same model object via the
+        model-keyed cache."""
+        cache = _shared_model_cache(self.model)
+        key = ("tables", length)
+        cached = cache.get(key)
         if cached is not None:
             return cached
+        tables = self._build_tables(length)
+        cache[key] = tables
+        return tables
+
+    def _vector_tables(self, length: int, tables) -> VectorTables:
+        """Vectorised-walk threshold tables, shared like the ladders."""
+        cache = _shared_model_cache(self.model)
+        key = ("vector", length)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        vector = VectorTables(self.model, tables, length)
+        cache[key] = vector
+        return vector
+
+    def _build_tables(self, length: int) -> dict[str, list[_Ladder]]:
         model = self.model
         weights = model.spatial.weights(length)
         second_order_weights = [
@@ -221,5 +419,4 @@ class Channel:
                         cumulative += probability
                         ladder.append((cumulative, event))
                 tables[base].append((cumulative, ladder))
-        self._ladder_cache[length] = tables
         return tables

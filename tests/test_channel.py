@@ -206,8 +206,20 @@ class TestPoolGeneration:
         second = Channel(model, random.Random(42)).transmit_many("ACGT" * 20, 5)
         assert first == second
 
-    def test_ladder_cache_reused_across_lengths(self):
+    def test_ladder_cache_shared_across_lengths(self):
+        from repro.core.channel import _shared_model_cache
+
         channel = make_channel(ErrorModel.naive(0.01, 0.01, 0.01))
         channel.transmit("ACGT")
         channel.transmit("ACGTACGT")
-        assert set(channel._ladder_cache) == {4, 8}
+        cache = _shared_model_cache(channel.model)
+        assert {key[1] for key in cache if key[0] == "tables"} == {4, 8}
+
+    def test_ladder_cache_shared_across_channels(self):
+        from repro.core.channel import _shared_model_cache
+
+        model = ErrorModel.naive(0.01, 0.01, 0.01)
+        make_channel(model).transmit("ACGT")
+        # A fresh Channel over the same model object sees the same cache
+        # (the per_cluster_seeds workers' pattern: new Channel per chunk).
+        assert ("tables", 4) in _shared_model_cache(model)

@@ -1,0 +1,270 @@
+"""Cross-backend equivalence for the vectorised channel sweep (ISSUE 8).
+
+In the style of ``TestBatchedBackendEquivalence``: the ``vectorised``
+backend must be byte-identical to the ``python`` reference loop — same
+pools, same copies, and the same final ``random.Random`` state (the
+draw-order contract) — across every model stage (bursts, second-order
+errors, long deletions, spatial weights, homopolymer scaling), both RNG
+modes (serial stream and ``per_cluster_seeds``), and degenerate inputs
+(empty references, coverage 0, all-homopolymer strands, burst-heavy
+models).  Dispatch (env var / override / auto threshold) is covered at
+the end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.alphabet import homopolymer_mask, random_strand
+from repro.core.channel import Channel
+from repro.core.channel_backend import (
+    AUTO_MIN_DRAWS,
+    CHANNEL_BACKENDS,
+    channel_backend,
+    homopolymer_mask_fast,
+    rng_supports_bulk,
+    set_channel_backend,
+)
+from repro.core.coverage import ConstantCoverage, NegativeBinomialCoverage
+from repro.core.errors import ErrorModel
+from repro.core.profile import ErrorProfile, SimulatorStage
+from repro.core.simulator import Simulator
+from repro.core.strand import StrandPool
+from repro.data.nanopore import (
+    ground_truth_model,
+    iter_nanopore_clusters,
+    make_nanopore_dataset,
+)
+from repro.exceptions import ConfigError
+
+MAIN_SEED = 20260808
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    set_channel_backend(None)
+
+
+def _ground(**overrides) -> ErrorModel:
+    return dataclasses.replace(ground_truth_model(), **overrides)
+
+
+#: One model per channel stage/regime the walk special-cases.
+MODELS = {
+    "ground_truth": ground_truth_model(),
+    "naive": ErrorModel.naive(0.006, 0.010, 0.019),
+    "zero_rate": ErrorModel.naive(0.0, 0.0, 0.0),
+    "high_rate": ErrorModel.naive(0.15, 0.20, 0.25),
+    "burst_heavy": _ground(burst_rate=0.05),
+    "long_deletion_heavy": _ground(long_deletion_rate=0.05),
+    "homopolymer_factor_zero": _ground(homopolymer_factor=0.0),
+    "no_homopolymer_scaling": _ground(homopolymer_factor=1.0),
+}
+
+
+def _flatten(pool: StrandPool) -> list[tuple[str, list[str]]]:
+    return [(cluster.reference, list(cluster.copies)) for cluster in pool]
+
+
+def _references(rng: random.Random) -> list[str]:
+    """Degenerate shapes beside paper-shaped strands: empty, length-1,
+    all-homopolymer, and mixed lengths straddling the chunk maths."""
+    strands = ["", "A", "A" * 110, "ACGT" * 30]
+    strands += [random_strand(length, rng) for length in (5, 110, 110, 333)]
+    return strands
+
+
+class TestBackendEquivalence:
+    """Pools and final RNG states must match bit for bit."""
+
+    @pytest.mark.parametrize("model_name", sorted(MODELS))
+    def test_transmit_pool_identical(self, model_name):
+        model = MODELS[model_name]
+        coverage = NegativeBinomialCoverage(8.0, 2.0)
+        pools, states = {}, {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            rng = random.Random(MAIN_SEED)
+            channel = Channel(model, rng)
+            references = _references(random.Random(MAIN_SEED + 1))
+            pools[backend] = _flatten(
+                channel.transmit_pool(references, coverage)
+            )
+            states[backend] = rng.getstate()
+        assert pools["vectorised"] == pools["python"], model_name
+        assert states["vectorised"] == states["python"], model_name
+
+    @pytest.mark.parametrize("model_name", sorted(MODELS))
+    def test_transmit_many_identical(self, model_name):
+        model = MODELS[model_name]
+        outputs, states = {}, {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            rng = random.Random(MAIN_SEED + 2)
+            channel = Channel(model, rng)
+            copies: list[list[str]] = []
+            for reference in _references(random.Random(MAIN_SEED + 3)):
+                copies.append(channel.transmit_many(reference, 25))
+            outputs[backend] = copies
+            states[backend] = rng.getstate()
+        assert outputs["vectorised"] == outputs["python"], model_name
+        assert states["vectorised"] == states["python"], model_name
+
+    def test_degenerate_coverage_and_reference(self):
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            rng = random.Random(MAIN_SEED)
+            channel = Channel(ground_truth_model(), rng)
+            assert channel.transmit_many("ACGT" * 30, 0) == []
+            assert channel.transmit_many("", 7) == [""] * 7
+            assert channel.transmit("") == ""
+            # Degenerate calls consume no randomness on either backend.
+            assert rng.getstate() == random.Random(MAIN_SEED).getstate()
+
+    def test_interleaved_transmits_share_the_stream(self):
+        """Mixing transmit/transmit_many/raw rng draws stays in lockstep:
+        the bulk source must leave the Python RNG exactly where the
+        serial loop would have."""
+        results, states = {}, {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            rng = random.Random(MAIN_SEED + 4)
+            channel = Channel(ground_truth_model(), rng)
+            trace = []
+            for round_index in range(4):
+                trace.append(channel.transmit_many("ACGT" * 30, 9))
+                trace.append(rng.random())  # raw draw between bulk calls
+                trace.append(channel.transmit(random_strand(110, rng)))
+            results[backend] = trace
+            states[backend] = rng.getstate()
+        assert results["vectorised"] == results["python"]
+        assert states["vectorised"] == states["python"]
+
+
+class TestSimulatorEquivalence:
+    """Both RNG modes of the Simulator, plus the streamed generator."""
+
+    @pytest.fixture(scope="class")
+    def profile(self) -> ErrorProfile:
+        pool = make_nanopore_dataset(n_clusters=30, seed=MAIN_SEED)
+        return ErrorProfile.from_pool(pool)
+
+    @pytest.mark.parametrize("stage", list(SimulatorStage))
+    def test_serial_stream_identical_across_stages(self, profile, stage):
+        references = [
+            random_strand(110, random.Random(MAIN_SEED + 5)) for _ in range(12)
+        ]
+        pools = {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            simulator = Simulator.fitted(
+                profile, stage=stage, coverage=ConstantCoverage(6), seed=17
+            )
+            pools[backend] = _flatten(simulator.simulate(references))
+        assert pools["vectorised"] == pools["python"], stage
+
+    def test_per_cluster_seeds_identical(self):
+        references = [
+            random_strand(110, random.Random(MAIN_SEED + 6)) for _ in range(10)
+        ]
+        pools = {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            simulator = Simulator(
+                ground_truth_model(),
+                coverage=ConstantCoverage(5),
+                seed=23,
+                per_cluster_seeds=True,
+            )
+            pools[backend] = _flatten(
+                simulator.simulate(references, workers=1)
+            )
+        assert pools["vectorised"] == pools["python"]
+
+    def test_streamed_nanopore_identical(self):
+        clusters = {}
+        for backend in ("python", "vectorised"):
+            set_channel_backend(backend)
+            clusters[backend] = [
+                (cluster.reference, list(cluster.copies))
+                for cluster in iter_nanopore_clusters(
+                    n_clusters=20, seed=MAIN_SEED, shards=3, workers=1
+                )
+            ]
+        assert clusters["vectorised"] == clusters["python"]
+
+
+class TestFastMask:
+    """The vectorised homopolymer mask must equal the reference scan."""
+
+    def test_matches_reference_implementation(self):
+        rng = random.Random(MAIN_SEED)
+        strands = ["", "A", "AA", "ACGT" * 30, "A" * 110, "AABBAACC"]
+        strands += [random_strand(length, rng) for length in (2, 3, 110, 257)]
+        strands += [
+            "".join(rng.choice("AACCGT") for _ in range(50)) for _ in range(20)
+        ]
+        for strand in strands:
+            assert homopolymer_mask_fast(strand) == homopolymer_mask(strand)
+
+    def test_non_ascii_falls_back(self):
+        assert homopolymer_mask_fast("AAééT") is None
+
+
+class TestDispatch:
+    """Selection order: override, then env var, then auto."""
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHANNEL_BACKEND", raising=False)
+        assert channel_backend() == "auto"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHANNEL_BACKEND", "vectorised")
+        assert channel_backend() == "vectorised"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHANNEL_BACKEND", "python")
+        set_channel_backend("vectorised")
+        assert channel_backend() == "vectorised"
+        set_channel_backend(None)
+        assert channel_backend() == "python"
+
+    def test_unknown_override_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            set_channel_backend("cuda")
+
+    def test_unknown_env_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHANNEL_BACKEND", "simd")
+        with pytest.raises(ConfigError):
+            channel_backend()
+
+    def test_backend_names_are_stable(self):
+        assert CHANNEL_BACKENDS == ("auto", "python", "vectorised")
+
+    def test_auto_threshold(self):
+        channel = Channel(ground_truth_model(), random.Random(0))
+        set_channel_backend("auto")
+        assert channel._resolve_backend(AUTO_MIN_DRAWS) == "vectorised"
+        assert channel._resolve_backend(AUTO_MIN_DRAWS - 1) == "python"
+        set_channel_backend("python")
+        assert channel._resolve_backend(10**9) == "python"
+
+    def test_subclassed_rng_degrades_to_python(self):
+        class LoggedRandom(random.Random):
+            pass
+
+        assert not rng_supports_bulk(LoggedRandom(0))
+        channel = Channel(ground_truth_model(), LoggedRandom(0))
+        set_channel_backend("vectorised")
+        # Forced vectorised still degrades (bit-identical either way).
+        assert channel._resolve_backend(10**9) == "python"
+        reference = "ACGT" * 30
+        copies = channel.transmit_many(reference, 20)
+        set_channel_backend("python")
+        assert copies == Channel(
+            ground_truth_model(), LoggedRandom(0)
+        ).transmit_many(reference, 20)

@@ -32,6 +32,7 @@ import pytest
 from repro.analysis.error_stats import ErrorStatistics
 from repro.core.alphabet import TRANSITION, random_strand
 from repro.core.channel import Channel
+from repro.core.channel_backend import set_channel_backend
 from repro.core.coverage import (
     ConstantCoverage,
     ErasureCoverage,
@@ -140,12 +141,18 @@ def measure_channel(
     return statistics
 
 
-@pytest.fixture(scope="module")
-def measured() -> ErrorStatistics:
+@pytest.fixture(scope="module", params=("python", "vectorised"))
+def measured(request) -> ErrorStatistics:
     """Statistics of the calibrated channel (900 transmissions, ~99k
     base opportunities — every aggregate below has expected counts well
-    into chi-square territory)."""
-    return measure_channel()
+    into chi-square territory), measured under each channel backend:
+    the vectorised sweep must pass the paper's statistical suite with
+    the same seeds (it is bit-identical, so the statistics are too)."""
+    set_channel_backend(request.param)
+    try:
+        return measure_channel()
+    finally:
+        set_channel_backend(None)
 
 
 @pytest.fixture(scope="module")
