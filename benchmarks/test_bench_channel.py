@@ -47,6 +47,7 @@ from repro.data.nanopore import (
     ground_truth_model,
 )
 from repro.observability.bench import assert_stamped, stamp_record
+from repro.report.history import append_record
 
 #: Where the channel-timing record lands (the repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_channel.json"
@@ -145,6 +146,7 @@ def test_bench_channel_record():
     )
     assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
+    append_record(record, "channel", root=BENCH_JSON.parent)
 
     assert speedup >= MIN_POOL_SPEEDUP, (
         f"vectorised transmit_pool is only {speedup:.2f}x the python "

@@ -33,6 +33,7 @@ import pytest
 
 from repro.data.nanopore import PAPER_STRAND_LENGTH
 from repro.observability.bench import assert_stamped, stamp_record
+from repro.report.history import append_record
 
 #: Where the record lands (the repo root, next to the other BENCH files).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fullscale.json"
@@ -152,6 +153,7 @@ def test_bench_fullscale_streamed_memory_is_bounded(tmp_path):
     )
     assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    append_record(record, "fullscale", root=BENCH_JSON.parent)
     print(
         f"\nfullscale ({n_clusters} clusters): streamed "
         f"{streamed['peak_rss_mb']} MB / {streamed['wall_time_s']}s vs "

@@ -37,6 +37,7 @@ from repro.cluster.greedy import GreedyClusterer
 from repro.core.channel import Channel
 from repro.data.nanopore import ground_truth_model
 from repro.observability.bench import assert_stamped, stamp_record
+from repro.report.history import append_record
 
 #: Where the kernel-timing record lands (the repo root).
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
@@ -202,6 +203,7 @@ def test_bench_kernels_record():
     )
     assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
+    append_record(record, "kernels", root=BENCH_JSON.parent)
 
     assert kernel_speedup >= MIN_KERNEL_SPEEDUP, (
         f"bit-parallel edit distance is only {kernel_speedup:.1f}x the "

@@ -21,6 +21,7 @@ from repro.align.gestalt import matching_blocks
 from repro.align.operations import edit_operations
 from repro.observability import counter, span
 from repro.observability.bench import assert_stamped, stamp_record
+from repro.report.history import append_record
 from repro.core.channel import Channel
 from repro.core.errors import ErrorModel
 from repro.core.profile import ErrorProfile
@@ -200,6 +201,7 @@ def test_bench_parallel_stages(warm_context, n_clusters):
     )
     assert_stamped(record)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n", encoding="ascii")
+    append_record(record, "throughput", root=BENCH_JSON.parent)
 
     # Skip (never silently pass) below BENCH_WORKERS cores: a 2- or
     # 3-core host can't be held to the 4-worker floor, but the record is

@@ -8,6 +8,10 @@ Subcommands:
 * ``evaluate``    — run reconstruction algorithms and report accuracy;
 * ``experiment``  — run one (or all) of the paper's table/figure
   reproductions;
+* ``report``      — HTML reporting: ``figures`` regenerates every paper
+  table/figure, ``dashboard`` builds the self-contained observability
+  dashboard (bench trajectory across git SHAs, trace flame rollups,
+  metrics cards, job/chaos run health) as one HTML artifact;
 * ``chaos``       — sweep injected-fault severity against the archive's
   resilient retrieval loop and report recovery rates (or, with
   ``--kill-resume``, kill a durable job mid-shard and assert resume
@@ -231,11 +235,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report_figures(args: argparse.Namespace) -> int:
     from repro.report.report import generate_report
 
     index = generate_report(args.output_dir, n_clusters=args.clusters)
     print(f"report written to {index}")
+    return 0
+
+
+def _cmd_report_dashboard(args: argparse.Namespace) -> int:
+    from repro.report.dashboard import write_dashboard
+    from repro.report.history import default_repo_root
+
+    repo_root = args.repo_root if args.repo_root else default_repo_root()
+    out = write_dashboard(
+        out=args.out, run_dir=args.run_dir, repo_root=repo_root
+    )
+    print(f"dashboard written to {out}")
     return 0
 
 
@@ -268,6 +284,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
     from repro.experiments import chaos
     from repro.robustness import SEVERITY_LEVELS
 
@@ -275,21 +293,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         result = chaos.run_kill_resume(
             n_clusters=args.clusters, seed=args.seed
         )
-        return 0 if result["bit_identical"] else 1
-    severities = tuple(args.severities) if args.severities else chaos.SEVERITIES
-    for severity in severities:
-        if severity not in SEVERITY_LEVELS:
-            raise SystemExit(
-                f"unknown fault severity {severity!r}; choose from "
-                f"{sorted(SEVERITY_LEVELS)}"
-            )
-    result = chaos.run(
-        n_clusters=args.clusters,
-        severities=severities,
-        n_trials=args.trials,
-        seed=args.seed,
-    )
-    return 0 if result["unhandled_errors"] == 0 else 1
+        exit_code = 0 if result["bit_identical"] else 1
+    else:
+        severities = (
+            tuple(args.severities) if args.severities else chaos.SEVERITIES
+        )
+        for severity in severities:
+            if severity not in SEVERITY_LEVELS:
+                raise SystemExit(
+                    f"unknown fault severity {severity!r}; choose from "
+                    f"{sorted(SEVERITY_LEVELS)}"
+                )
+        result = chaos.run(
+            n_clusters=args.clusters,
+            severities=severities,
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+        exit_code = 0 if result["unhandled_errors"] == 0 else 1
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"dnasim: chaos outcome -> {args.json_out}", file=sys.stderr)
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -467,11 +494,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser(
         "report",
+        help="HTML reporting: paper figures, observability dashboard",
+    )
+    report_verbs = report.add_subparsers(dest="report_command", required=True)
+
+    figures = report_verbs.add_parser(
+        "figures",
         help="regenerate every table and figure as an HTML+SVG report",
     )
-    report.add_argument("output_dir", help="directory for index.html + SVGs")
-    report.add_argument("--clusters", type=int, default=None)
-    report.set_defaults(handler=_cmd_report)
+    figures.add_argument("output_dir", help="directory for index.html + SVGs")
+    figures.add_argument("--clusters", type=int, default=None)
+    figures.set_defaults(handler=_cmd_report_figures)
+
+    dashboard = report_verbs.add_parser(
+        "dashboard",
+        help="build the self-contained observability dashboard "
+        "(bench trajectory, flame rollups, metrics, run health) "
+        "as one HTML file",
+    )
+    dashboard.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding a run's artifacts (trace JSONL, metrics "
+        "JSON, job journals, chaos outcomes, test summaries); "
+        "discovered by content, any layout works",
+    )
+    dashboard.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="FILE",
+        help="output HTML path (default: dashboard.html)",
+    )
+    dashboard.add_argument(
+        "--repo-root",
+        default=None,
+        metavar="DIR",
+        help="checkout root whose bench_history/ and BENCH_*.json feed "
+        "the trajectory section (default: this checkout)",
+    )
+    dashboard.set_defaults(handler=_cmd_report_dashboard)
 
     chaos = commands.add_parser(
         "chaos",
@@ -495,6 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
         "job mid-shard (before its checkpoint lands) and assert that "
         "resuming the journal reproduces the uninterrupted result bit "
         "for bit",
+    )
+    chaos.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the sweep/kill-resume outcome document as JSON "
+        "(the dashboard's run-health section discovers these)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 
@@ -616,6 +685,14 @@ def _add_jobs_commands(commands) -> None:
     ):
         sub = verbs.add_parser(verb, parents=[jobs_dir], help=help_text)
         sub.add_argument("job_id")
+        if verb == "status":
+            sub.add_argument(
+                "--events",
+                action="store_true",
+                help="also replay events.jsonl into a compact per-shard "
+                "timeline (attempts, outcome, duration, quarantine "
+                "reasons)",
+            )
         sub.set_defaults(handler=_cmd_jobs)
 
     listing = verbs.add_parser(
@@ -698,6 +775,16 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 sort_keys=True,
             )
         )
+        if getattr(args, "events", False):
+            # The dashboard's journal-replay helper renders the same
+            # timeline the run-health section shows.
+            from repro.report.dashboard import (
+                format_shard_timeline,
+                shard_timeline,
+            )
+
+            print()
+            print(format_shard_timeline(shard_timeline(journal.events())))
         return 0
 
     if command == "cancel":
@@ -747,6 +834,36 @@ def _export_observability(args: argparse.Namespace) -> None:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(text)
             print(f"dnasim: metrics -> {args.metrics_out}", file=sys.stderr)
+    _auto_dashboard(args)
+
+
+def _auto_dashboard(args: argparse.Namespace) -> None:
+    """After a traced/metriced experiment run, drop a dashboard next to
+    the exported artifacts.
+
+    Best-effort by design: the dashboard is a convenience by-product, so
+    a failure here prints a note instead of failing the run that just
+    produced the data.
+    """
+    if getattr(args, "command", None) != "experiment":
+        return
+    if not (args.trace or args.metrics_out):
+        return
+    from pathlib import Path
+
+    try:
+        from repro.report.dashboard import write_dashboard
+        from repro.report.history import default_repo_root
+
+        run_dir = Path(args.trace or args.metrics_out).resolve().parent
+        out = write_dashboard(
+            out=run_dir / "dashboard.html",
+            run_dir=run_dir,
+            repo_root=default_repo_root(),
+        )
+        print(f"dnasim: dashboard -> {out}", file=sys.stderr)
+    except Exception as error:  # noqa: BLE001 - never fail the run
+        print(f"dnasim: dashboard skipped: {error}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

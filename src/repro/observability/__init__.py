@@ -39,6 +39,7 @@ from repro.observability.metrics import (
     counter,
     gauge,
     histogram,
+    histogram_quantile,
 )
 from repro.observability.tracing import Tracer, span
 
@@ -57,6 +58,7 @@ __all__ = [
     "gauge",
     "get_logger",
     "histogram",
+    "histogram_quantile",
     "merge_worker_snapshot",
     "metrics_enabled",
     "registry",

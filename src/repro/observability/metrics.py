@@ -114,6 +114,51 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts
+        (see :func:`histogram_quantile`)."""
+        return histogram_quantile(self.bounds, self.bucket_counts, q)
+
+
+def histogram_quantile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> float:
+    """Estimate a quantile from fixed-bucket counts by linear interpolation.
+
+    Prometheus ``histogram_quantile`` semantics: observations are assumed
+    uniformly distributed inside each bucket, the first bucket starts at
+    0 (these histograms hold non-negative durations), and a quantile that
+    lands in the implicit +Inf bucket reports the highest finite bound —
+    the estimate cannot exceed what the buckets can resolve.
+
+    Args:
+        bounds: sorted finite bucket upper bounds.
+        bucket_counts: per-bucket counts, ``len(bounds) + 1`` entries
+            (the last is the +Inf bucket).
+        q: the quantile in ``[0, 1]`` (clamped).
+
+    Returns:
+        The estimated quantile, or ``nan`` for an empty histogram.
+    """
+    total = sum(bucket_counts)
+    if total == 0:
+        return float("nan")
+    q = min(max(q, 0.0), 1.0)
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(bucket_counts):
+        if count == 0:
+            continue
+        if cumulative + count >= target:
+            if index >= len(bounds):  # +Inf bucket: clamp to last bound
+                return float(bounds[-1])
+            lower = float(bounds[index - 1]) if index > 0 else 0.0
+            upper = float(bounds[index])
+            fraction = (target - cumulative) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += count
+    return float(bounds[-1])
+
 
 class _NullCounter:
     __slots__ = ()

@@ -1,5 +1,7 @@
-"""Figure/report generation: a dependency-free SVG renderer plus an HTML
-report that regenerates every table and figure of the paper."""
+"""Figure/report generation: a dependency-free SVG renderer, an HTML
+report that regenerates every table and figure of the paper, and a
+self-contained observability dashboard (bench trajectory, flame rollups,
+metrics, run health) built from the same primitives."""
 
 from repro.report.charts import (
     bar_chart,
@@ -7,16 +9,42 @@ from repro.report.charts import (
     grouped_bar_chart,
     line_chart,
 )
+from repro.report.dashboard import (
+    SECTION_IDS,
+    build_dashboard_html,
+    flame_rollup,
+    format_shard_timeline,
+    shard_timeline,
+    write_dashboard,
+)
+from repro.report.history import (
+    HISTORY_DIR_NAME,
+    append_record,
+    history_path,
+    load_history,
+    read_history_file,
+)
 from repro.report.report import ReportBuilder, generate_report
 from repro.report.svg import PALETTE, SVGCanvas
 
 __all__ = [
+    "HISTORY_DIR_NAME",
     "PALETTE",
     "ReportBuilder",
+    "SECTION_IDS",
     "SVGCanvas",
+    "append_record",
     "bar_chart",
+    "build_dashboard_html",
     "curve_chart",
+    "flame_rollup",
+    "format_shard_timeline",
     "generate_report",
     "grouped_bar_chart",
+    "history_path",
     "line_chart",
+    "load_history",
+    "read_history_file",
+    "shard_timeline",
+    "write_dashboard",
 ]

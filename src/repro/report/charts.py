@@ -10,14 +10,27 @@ Three chart types cover every figure in the evaluation:
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
 from repro.report.svg import PALETTE, SVGCanvas
 
 
+def _finite_points(
+    points: Sequence[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Drop points with a NaN/inf coordinate (they render as malformed
+    or unbounded SVG); the survivors draw normally."""
+    return [
+        (x, y)
+        for x, y in points
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+
+
 def _nice_ceiling(value: float) -> float:
     """Round a positive value up to a visually clean axis limit."""
-    if value <= 0:
+    if not math.isfinite(value) or value <= 0:
         return 1.0
     magnitude = 1.0
     while value > 10.0:
@@ -46,12 +59,18 @@ def line_chart(
     Returns the SVG document string.
     """
     canvas = SVGCanvas(width=width, height=height)
-    all_points = [point for points in series.values() for point in points]
+    finite_series = {
+        name: _finite_points(points) for name, points in series.items()
+    }
+    all_points = [
+        point for points in finite_series.values() for point in points
+    ]
     if not all_points:
         canvas.set_ranges((0, 1), (0, 1))
         canvas.axes(x_label, y_label)
         if title:
             canvas.title(title)
+        canvas.placeholder()
         return canvas.render()
     x_values = [x for x, _y in all_points]
     y_values = [y for _x, y in all_points]
@@ -65,9 +84,13 @@ def line_chart(
     if title:
         canvas.title(title)
     legend = []
-    for index, (name, points) in enumerate(series.items()):
+    for index, (name, points) in enumerate(finite_series.items()):
         color = PALETTE[index % len(PALETTE)]
-        canvas.polyline(sorted(points), color)
+        if len(points) == 1:
+            # A one-point polyline renders nothing; a marker is visible.
+            canvas.circle(points[0][0], points[0][1], color=color)
+        else:
+            canvas.polyline(sorted(points), color)
         legend.append((name, color))
     if len(legend) > 1:
         canvas.legend(legend)
@@ -104,15 +127,22 @@ def bar_chart(
 ) -> str:
     """A single histogram as bars indexed 0..n-1."""
     canvas = SVGCanvas(width=width, height=height)
-    if not values:
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
         canvas.set_ranges((0, 1), (0, 1))
-    else:
-        upper = _nice_ceiling(max(values) * 1.05 or 1.0)
-        canvas.set_ranges((-0.5, len(values) - 0.5), (0.0, upper))
+        canvas.axes(x_label, y_label)
+        if title:
+            canvas.title(title)
+        canvas.placeholder()
+        return canvas.render()
+    upper = _nice_ceiling(max(finite) * 1.05 or 1.0)
+    canvas.set_ranges((-0.5, len(values) - 0.5), (0.0, upper))
     canvas.axes(x_label, y_label)
     if title:
         canvas.title(title)
     for position, value in enumerate(values):
+        if not math.isfinite(value):
+            continue  # keep the position, skip the malformed bar
         canvas.bar(position, value, bar_width=0.9, color=color)
     return canvas.render()
 
@@ -136,7 +166,12 @@ def grouped_bar_chart(
         for name in cells:
             if name not in series_names:
                 series_names.append(name)
-    all_values = [value for cells in groups.values() for value in cells.values()]
+    all_values = [
+        value
+        for cells in groups.values()
+        for value in cells.values()
+        if math.isfinite(value)
+    ]
     upper = y_max if y_max is not None else _nice_ceiling(
         (max(all_values) if all_values else 1.0) * 1.05
     )
@@ -144,6 +179,9 @@ def grouped_bar_chart(
     canvas.axes("", y_label, x_ticks=1, x_format="")
     if title:
         canvas.title(title)
+    if not all_values:
+        canvas.placeholder()
+        return canvas.render()
     n_series = max(1, len(series_names))
     slot = 0.8 / n_series
     legend = []
@@ -152,7 +190,7 @@ def grouped_bar_chart(
         legend.append((series_name, color))
         for group_index, group_name in enumerate(group_names):
             value = groups[group_name].get(series_name)
-            if value is None:
+            if value is None or not math.isfinite(value):
                 continue
             offset = (series_index - (n_series - 1) / 2) * slot
             canvas.bar(group_index + offset, value, bar_width=slot * 0.9, color=color)

@@ -1,0 +1,123 @@
+"""The bench-trajectory store: one JSONL file of stamped records per bench.
+
+Every benchmark that writes a ``BENCH_<name>.json`` snapshot at the repo
+root also appends the same stamped record to
+``bench_history/<name>.jsonl`` — one JSON object per line, in
+chronological append order.  The snapshot answers "what did the last run
+measure"; the history answers "how has that number moved across git
+SHAs", which is what the dashboard's trajectory charts render.
+
+Rules:
+
+* only **stamped** records are accepted (schema version, git SHA,
+  timestamp — :func:`repro.observability.bench.assert_stamped`), because
+  an unattributable point on a trajectory chart is noise;
+* appends are **deduplicated by (git SHA, schema version)**: re-running
+  a bench on the same commit replaces that commit's record (latest
+  measurement wins) instead of growing the file, so one commit is one
+  point;
+* the rewrite is atomic (:func:`repro.data.io.atomic_write`), so a
+  crashed append leaves the previous history intact;
+* reads tolerate torn or corrupt lines (skipped with their line number
+  reported) — a damaged history degrades to fewer points, never to a
+  failed dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.io import atomic_write
+from repro.observability.bench import assert_stamped
+
+#: Directory name of the store, resolved against the repo root.
+HISTORY_DIR_NAME = "bench_history"
+
+
+def default_repo_root() -> Path:
+    """The checkout root containing this package (``src/..``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def history_dir(root: str | Path | None = None) -> Path:
+    """The ``bench_history/`` directory under ``root`` (default: the
+    checkout root)."""
+    base = Path(root) if root is not None else default_repo_root()
+    return base / HISTORY_DIR_NAME
+
+
+def history_path(name: str, root: str | Path | None = None) -> Path:
+    return history_dir(root) / f"{name}.jsonl"
+
+
+def read_history_file(path: str | Path) -> list[dict]:
+    """Parse one history JSONL file, skipping torn/corrupt lines.
+
+    Returns the parsed records in file order; non-dict lines and lines
+    that fail to parse are dropped (a torn tail from a crashed append,
+    external corruption) rather than failing the read.
+    """
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return []
+    records: list[dict] = []
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def load_history(root: str | Path | None = None) -> dict[str, list[dict]]:
+    """Every bench's trajectory: ``{name: [record, ...]}``, names sorted.
+
+    Records keep file (append/chronological) order; benches without a
+    history file simply do not appear.
+    """
+    directory = history_dir(root)
+    if not directory.is_dir():
+        return {}
+    return {
+        path.stem: records
+        for path in sorted(directory.glob("*.jsonl"))
+        if (records := read_history_file(path))
+    }
+
+
+def append_record(
+    record: dict, name: str, root: str | Path | None = None
+) -> Path:
+    """Append one stamped bench record to ``bench_history/<name>.jsonl``.
+
+    An existing record with the same ``(git_sha, schema_version)`` is
+    replaced in place (the re-run's numbers supersede it); otherwise the
+    record is appended.  The file is rewritten atomically either way.
+
+    Returns the history file path.
+
+    Raises:
+        AssertionError: if ``record`` is not stamped
+            (:func:`repro.observability.bench.assert_stamped`).
+    """
+    assert_stamped(record)
+    path = history_path(name, root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    key = (record["git_sha"], record["schema_version"])
+    kept = [
+        existing
+        for existing in read_history_file(path)
+        if (existing.get("git_sha"), existing.get("schema_version")) != key
+    ]
+    kept.append(record)
+    atomic_write(
+        path,
+        "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in kept),
+    )
+    return path

@@ -8,6 +8,7 @@ and text.  Everything is plain SVG 1.1 markup.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from xml.sax.saxutils import escape
 
@@ -51,7 +52,16 @@ class SVGCanvas:
     def set_ranges(
         self, x_range: tuple[float, float], y_range: tuple[float, float]
     ) -> None:
-        """Define the data-coordinate viewport (x grows right, y up)."""
+        """Define the data-coordinate viewport (x grows right, y up).
+
+        Non-finite bounds (NaN/inf — e.g. a series of all-NaN values)
+        would poison every subsequent pixel mapping, so a range
+        containing one falls back to the unit range.
+        """
+        if not all(math.isfinite(bound) for bound in x_range):
+            x_range = (0.0, 1.0)
+        if not all(math.isfinite(bound) for bound in y_range):
+            y_range = (0.0, 1.0)
         if x_range[0] == x_range[1]:
             x_range = (x_range[0], x_range[0] + 1.0)
         if y_range[0] == y_range[1]:
@@ -140,6 +150,19 @@ class SVGCanvas:
             f'stroke="{color}" stroke-width="{width}"/>'
         )
 
+    def circle(
+        self,
+        x: float,
+        y: float,
+        radius: float = 3.0,
+        color: str = "#444444",
+    ) -> None:
+        """A data-coordinate circle marker (single points, highlights)."""
+        self._elements.append(
+            f'<circle cx="{self.x_pixel(x):.1f}" cy="{self.y_pixel(y):.1f}" '
+            f'r="{radius:.1f}" fill="{color}"/>'
+        )
+
     def bar(
         self,
         x: float,
@@ -214,6 +237,17 @@ class SVGCanvas:
                 anchor="middle",
                 rotate=-90,
             )
+
+    def placeholder(self, message: str = "no data") -> None:
+        """A visible centred notice for charts with nothing to draw."""
+        self.text(
+            self.margin_left + self.plot_width / 2,
+            self.margin_top + self.plot_height / 2,
+            message,
+            size=13,
+            anchor="middle",
+            color="#999999",
+        )
 
     def legend(self, labels: list[tuple[str, str]]) -> None:
         """Top-right legend: list of ``(label, color)``."""

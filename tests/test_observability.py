@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import pickle
 import random
 from pathlib import Path
@@ -146,6 +147,48 @@ def test_histogram_single_bucket_and_empty_bounds():
     assert histogram.bucket_counts == [1, 1]
     with pytest.raises(ValueError):
         Histogram("h", (), buckets=())
+
+
+def test_histogram_quantile_uniform_distribution():
+    # 100 observations spread uniformly over (0, 10] in buckets of 1:
+    # linear interpolation recovers the exact quantiles.
+    histogram = Histogram("h", (), buckets=tuple(float(b) for b in range(1, 11)))
+    for i in range(100):
+        histogram.observe(i / 10.0 + 0.05)
+    assert histogram.quantile(0.5) == pytest.approx(5.0, abs=0.1)
+    assert histogram.quantile(0.95) == pytest.approx(9.5, abs=0.1)
+    assert histogram.quantile(0.99) == pytest.approx(9.9, abs=0.1)
+
+
+def test_histogram_quantile_skewed_distribution():
+    histogram = Histogram("h", (), buckets=(1.0, 10.0, 100.0))
+    for _ in range(90):
+        histogram.observe(0.5)  # 90% fast
+    for _ in range(10):
+        histogram.observe(50.0)  # 10% slow tail
+    # p50 interpolates inside the first bucket (assumed uniform over
+    # [0, 1]): 50/90 of the way through.
+    assert histogram.quantile(0.5) == pytest.approx(50 / 90, rel=1e-6)
+    # p95 lands in the tail bucket (10, 100].
+    assert 10.0 < histogram.quantile(0.95) <= 100.0
+
+
+def test_histogram_quantile_edge_cases():
+    from repro.observability.metrics import histogram_quantile
+
+    # Empty histogram: no data, NaN.
+    assert math.isnan(histogram_quantile((1.0, 2.0), (0, 0, 0), 0.5))
+    # q clamped to [0, 1].
+    histogram = Histogram("h", (), buckets=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    assert histogram.quantile(-1.0) == histogram.quantile(0.0)
+    assert histogram.quantile(2.0) == histogram.quantile(1.0)
+    # All mass in the +Inf bucket clamps to the highest finite bound.
+    overflow = Histogram("h", (), buckets=(1.0, 2.0))
+    overflow.observe(100.0)
+    assert overflow.quantile(0.5) == 2.0
+    assert overflow.quantile(0.99) == 2.0
 
 
 def test_prometheus_export_cumulative_buckets():

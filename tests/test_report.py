@@ -88,6 +88,79 @@ class TestCharts:
         assert_valid_svg(svg)
 
 
+class TestChartEdgeCases:
+    """NaN/inf inputs, single points, and all-empty series must render a
+    valid document with a visible placeholder — never malformed SVG or a
+    hang."""
+
+    def test_empty_series_placeholder(self):
+        svg = line_chart({}, title="empty")
+        assert_valid_svg(svg)
+        assert "no data" in svg
+
+    def test_all_nan_series_placeholder(self):
+        nan = float("nan")
+        svg = line_chart({"a": [(0, nan), (1, nan)]})
+        assert_valid_svg(svg)
+        assert "no data" in svg
+        assert "nan" not in svg.lower().replace("no data", "")
+
+    def test_mixed_nan_points_skipped(self):
+        svg = line_chart({"a": [(0, 1.0), (1, float("nan")), (2, 3.0)]})
+        assert_valid_svg(svg)
+        assert "polyline" in svg
+        assert "NaN" not in svg
+
+    def test_inf_does_not_hang_or_leak(self):
+        # _nice_ceiling(inf) used to loop forever; now the inf point is
+        # dropped before the axis limit is computed.
+        svg = line_chart({"a": [(0, 1.0), (1, float("inf"))]})
+        assert_valid_svg(svg)
+        assert "inf" not in svg.lower()
+
+    def test_single_point_series_draws_marker(self):
+        svg = line_chart({"only": [(2.0, 5.0)]})
+        assert_valid_svg(svg)
+        assert "<circle" in svg  # a 1-point polyline renders nothing
+
+    def test_bar_chart_all_nonfinite_placeholder(self):
+        svg = bar_chart([float("nan"), float("inf")])
+        assert_valid_svg(svg)
+        assert "no data" in svg
+
+    def test_bar_chart_skips_nonfinite_keeps_positions(self):
+        svg = bar_chart([1.0, float("nan"), 3.0])
+        assert_valid_svg(svg)
+        assert svg.count("<rect") == 3  # background + 2 finite bars
+
+    def test_grouped_bar_chart_nonfinite_cells_skipped(self):
+        svg = grouped_bar_chart(
+            {"g1": {"a": float("nan"), "b": 2.0}, "g2": {"a": 1.0}}
+        )
+        assert_valid_svg(svg)
+        assert "NaN" not in svg
+
+    def test_grouped_bar_chart_all_nonfinite_placeholder(self):
+        svg = grouped_bar_chart({"g1": {"a": float("inf")}})
+        assert_valid_svg(svg)
+        assert "no data" in svg
+
+    def test_canvas_nonfinite_range_falls_back(self):
+        canvas = SVGCanvas(width=100, height=100)
+        canvas.set_ranges((0.0, float("inf")), (float("nan"), 1.0))
+        # Both ranges fell back to the unit range: mapping stays finite.
+        assert canvas.x_pixel(0.5) == pytest.approx(
+            canvas.margin_left + canvas.plot_width / 2
+        )
+        assert_valid_svg(canvas.render())
+
+    def test_placeholder_message_rendered(self):
+        canvas = SVGCanvas()
+        canvas.set_ranges((0, 1), (0, 1))
+        canvas.placeholder("series went missing")
+        assert "series went missing" in canvas.render()
+
+
 class TestReportBuilder:
     def test_builder_writes_index_and_figures(self, tmp_path):
         builder = ReportBuilder(tmp_path)
