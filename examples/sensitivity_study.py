@@ -6,6 +6,12 @@ the A-shaped / V-shaped spatial comparison — the experiment that exposes
 how differently BMA and Iterative respond to *where* errors fall.
 
 Run:  python examples/sensitivity_study.py
+
+The declarative equivalent of the grid sweep lives in
+``examples/sweep_example.toml``: each (error-rate, coverage, algorithm)
+point becomes one cell of a scenario matrix run with
+``dnasim sweep run`` — durable, resumable, and provenance-stamped —
+instead of a hand-written loop.  EXPERIMENTS.md shows the conversion.
 """
 
 from repro.analysis.sensitivity import sweep_error_and_coverage, sweep_spatial

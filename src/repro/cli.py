@@ -568,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(handler=_cmd_chaos)
 
     _add_jobs_commands(commands)
+    _add_sweep_commands(commands)
 
     return parser
 
@@ -699,6 +700,206 @@ def _add_jobs_commands(commands) -> None:
         "list", parents=[jobs_dir], help="list every journal under the root"
     )
     listing.set_defaults(handler=_cmd_jobs)
+
+
+def _add_sweep_commands(commands) -> None:
+    """The ``dnasim sweep`` verb group (declarative scenario sweeps)."""
+    sweep = commands.add_parser(
+        "sweep",
+        help="declarative scenario sweeps: expand a TOML spec into a "
+        "matrix of durable, resumable cells (run/status/resume/list)",
+    )
+    verbs = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    run = verbs.add_parser(
+        "run",
+        help="expand a sweep spec and run every cell through the durable "
+        "job engine (exit 0 ok / 3 partial / 4 failed; idempotent — "
+        "recorded cells are reused, not recomputed)",
+    )
+    run.add_argument("spec", metavar="SPEC.toml", help="sweep spec file")
+    run.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="sweep directory (manifest + per-cell journals and records); "
+        "owned by this spec — a different spec against the same "
+        "directory is a config error",
+    )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded scenario matrix and exit without running",
+    )
+    run.add_argument(
+        "--crash-after-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos: the orchestrator dies (as if SIGKILLed) after N "
+        "cells have executed, before the Nth record is written; "
+        "'sweep resume' must replay it bit-identically",
+    )
+    run.set_defaults(handler=_cmd_sweep)
+
+    resume = verbs.add_parser(
+        "resume",
+        help="continue a sweep from its own manifest: valid records are "
+        "reused, journalled cells replay from checkpoints, the rest run "
+        "fresh (exit codes as for run)",
+    )
+    resume.add_argument("dir", metavar="DIR", help="sweep directory")
+    resume.set_defaults(handler=_cmd_sweep)
+
+    status = verbs.add_parser(
+        "status",
+        help="per-cell state of a sweep directory (records, journals, "
+        "staleness)",
+    )
+    status.add_argument("dir", metavar="DIR", help="sweep directory")
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    status.set_defaults(handler=_cmd_sweep)
+
+    listing = verbs.add_parser(
+        "list", help="list every sweep directory under a root"
+    )
+    listing.add_argument("root", metavar="DIR", help="directory to scan")
+    listing.set_defaults(handler=_cmd_sweep)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.common import format_scenario, format_table
+    from repro.scenarios import (
+        list_sweeps,
+        load_sweep_spec,
+        resume_sweep,
+        run_sweep,
+        sweep_status,
+    )
+
+    command = args.sweep_command
+
+    if command == "run":
+        spec = load_sweep_spec(args.spec)
+        cells = spec.expand()
+        if args.dry_run:
+            print(
+                f"sweep {spec.name!r}: {len(cells)} cells "
+                f"(digest {spec.digest()[:12]})"
+            )
+            print(
+                format_table(
+                    ["cell", "scenario"],
+                    [
+                        [cell.cell_id, format_scenario(cell.scenario())]
+                        for cell in cells
+                    ],
+                )
+            )
+            return 0
+        print(f"sweep {spec.name!r}: {len(cells)} cells -> {args.out}")
+        outcome = run_sweep(
+            spec,
+            args.out,
+            echo=print,
+            crash_after_cells=args.crash_after_cells,
+        )
+        _print_sweep_results(outcome.sweep_dir, format_table)
+        return outcome.exit_code
+
+    if command == "resume":
+        outcome = resume_sweep(args.dir, echo=print)
+        _print_sweep_results(outcome.sweep_dir, format_table)
+        return outcome.exit_code
+
+    if command == "status":
+        status = sweep_status(args.dir)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"sweep {status['sweep']!r}: {status['recorded']}/"
+            f"{status['n_cells']} recorded, {status['pending']} pending, "
+            f"{status['stale']} stale"
+        )
+        print(
+            format_table(
+                ["cell", "state", "scenario"],
+                [
+                    [
+                        cell["cell_id"],
+                        ("reusable" if cell["recorded"] else cell["state"])
+                        or "-",
+                        format_scenario(cell["scenario"]),
+                    ]
+                    for cell in status["cells"]
+                ],
+            )
+        )
+        return 0
+
+    # list
+    sweeps = list_sweeps(args.root)
+    if not sweeps:
+        print(f"no sweeps under {args.root}")
+        return 0
+    print(
+        format_table(
+            ["sweep", "cells", "recorded", "succeeded", "dir"],
+            [
+                [
+                    entry["sweep"],
+                    entry["n_cells"],
+                    entry["recorded"],
+                    entry["succeeded"],
+                    entry["sweep_dir"],
+                ]
+                for entry in sweeps
+            ],
+        )
+    )
+    return 0
+
+
+def _print_sweep_results(sweep_dir, format_table) -> None:
+    """The per-cell results table ``sweep run``/``resume`` end with."""
+    from repro.scenarios import SweepStore
+
+    rows = SweepStore(sweep_dir).results_table()
+    if not rows:
+        return
+    print()
+    print(
+        format_table(
+            ["cell", "state", "error", "per_strand", "per_char"],
+            [
+                [
+                    row["cell_id"],
+                    row["job_state"],
+                    (
+                        f"{row['aggregate_error_rate']:.4f}"
+                        if row["aggregate_error_rate"] is not None
+                        else "-"
+                    ),
+                    (
+                        f"{row['per_strand']:.2f}"
+                        if row["per_strand"] is not None
+                        else "-"
+                    ),
+                    (
+                        f"{row['per_character']:.2f}"
+                        if row["per_character"] is not None
+                        else "-"
+                    ),
+                ]
+                for row in rows
+            ],
+        )
+    )
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:

@@ -17,6 +17,7 @@ from repro.data.nanopore import (
     ground_truth_coverage,
     ground_truth_model,
     make_nanopore_dataset,
+    nanopore_parameters,
 )
 from repro.data.technologies import (
     SEQUENCING_TECHNOLOGIES,
@@ -36,6 +37,7 @@ __all__ = [
     "ground_truth_coverage",
     "ground_truth_model",
     "make_nanopore_dataset",
+    "nanopore_parameters",
     "read_pool",
     "read_reads",
     "read_references",

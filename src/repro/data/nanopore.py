@@ -78,6 +78,46 @@ class NanoporeParameters:
     coverage_dispersion: float = 4.0
 
 
+def nanopore_parameters(
+    overrides: dict | None,
+) -> NanoporeParameters | None:
+    """Build :class:`NanoporeParameters` from a mapping of overrides.
+
+    The scenario layer stores channel presets as plain JSON dicts; this
+    is the one validated path from that representation back to the
+    frozen dataclass.  ``None`` and ``{}`` both mean "the paper
+    defaults" and return ``None`` so callers can distinguish "default
+    channel" from an explicit parameter set.
+
+    Raises:
+        ConfigError: unknown field names (with a did-you-mean hint) or
+            non-numeric values.
+    """
+    if not overrides:
+        return None
+    from difflib import get_close_matches
+
+    from repro.exceptions import ConfigError
+
+    known = tuple(NanoporeParameters.__dataclass_fields__)
+    clean: dict[str, float] = {}
+    for name, value in overrides.items():
+        if name not in known:
+            hint = get_close_matches(str(name), known, n=1)
+            suggestion = f"; did you mean {hint[0]!r}?" if hint else ""
+            raise ConfigError(
+                f"unknown channel parameter {name!r}{suggestion} "
+                f"(known: {', '.join(known)})"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"channel parameter {name!r} must be a number, got "
+                f"{value!r}"
+            )
+        clean[name] = float(value)
+    return NanoporeParameters(**clean)
+
+
 def ground_truth_model(
     parameters: NanoporeParameters | None = None,
 ) -> ErrorModel:

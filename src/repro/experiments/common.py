@@ -206,3 +206,12 @@ def format_curve(curve: Sequence[int], bins: int = 11) -> str:
 def percent(value: float) -> str:
     """Format a percentage the way the paper's tables do."""
     return f"{value:.2f}"
+
+
+def format_scenario(scenario: "OrderedDict | dict") -> str:
+    """Render a scenario cell's axis values on one line.
+
+    Shared by ``dnasim sweep`` output and the sweep status table so a
+    cell reads the same everywhere: ``channel=paper coverage=6.0 ...``.
+    """
+    return " ".join(f"{axis}={value}" for axis, value in scenario.items())

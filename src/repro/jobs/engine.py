@@ -67,6 +67,31 @@ from repro.sharding.runner import (
     run_shard,
 )
 
+
+def _plan_for_spec(spec: JobSpec) -> FullScalePlan:
+    """The deterministic fullscale plan a spec describes.
+
+    One code path for first runs, resumes, and result replays: every
+    scenario knob the spec carries (channel parameters, fault severity,
+    pinned backends) reaches :func:`plan_fullscale` identically, which
+    is what makes checkpointed shard results valid across restarts.
+    """
+    from repro.data.nanopore import nanopore_parameters
+
+    return plan_fullscale(
+        n_clusters=spec.n_clusters,
+        strand_length=spec.strand_length,
+        mean_coverage=spec.mean_coverage,
+        seed=spec.seed,
+        shards=spec.shards,
+        algorithms=spec.algorithms,
+        max_copies=spec.max_copies,
+        parameters=nanopore_parameters(spec.channel_parameters),
+        fault_severity=spec.fault_severity,
+        align_backend=spec.align_backend,
+        channel_backend=spec.channel_backend,
+    )
+
 _logger = get_logger("repro.jobs.engine")
 
 #: A worker silent for this many heartbeat intervals is presumed hung
@@ -247,15 +272,7 @@ class JobEngine:
     # ---------------------------------------------------------------- #
 
     def _run_fullscale(self, spec: JobSpec, resume: bool) -> JobResult:
-        plan = plan_fullscale(
-            n_clusters=spec.n_clusters,
-            strand_length=spec.strand_length,
-            mean_coverage=spec.mean_coverage,
-            seed=spec.seed,
-            shards=spec.shards,
-            algorithms=spec.algorithms,
-            max_copies=spec.max_copies,
-        )
+        plan = _plan_for_spec(spec)
         items = dict(plan.shard_items())
         results: dict[int, object] = self.journal.checkpointed_shards(
             plan.n_shards
@@ -703,15 +720,7 @@ class JobEngine:
             # result.json lost but checkpoints intact: re-merge.
             spec = self.journal.spec()
             if spec.workload == FULLSCALE_WORKLOAD:
-                plan = plan_fullscale(
-                    n_clusters=spec.n_clusters,
-                    strand_length=spec.strand_length,
-                    mean_coverage=spec.mean_coverage,
-                    seed=spec.seed,
-                    shards=spec.shards,
-                    algorithms=spec.algorithms,
-                    max_copies=spec.max_copies,
-                )
+                plan = _plan_for_spec(spec)
                 results = self.journal.checkpointed_shards(plan.n_shards)
                 if len(results) != plan.n_shards:
                     raise JobError(

@@ -152,6 +152,19 @@ class JobSpec:
             shard (False).
         max_quarantined_shards: optional cap on quarantined shards before
             the job fails even with ``allow_partial``.
+        fault_severity: named fault-injection severity applied to every
+            cluster's reads inside the shards (``"none"`` disables it;
+            see :data:`repro.robustness.SEVERITY_LEVELS`).
+        align_backend / channel_backend: backend names pinned into the
+            spec at submit time.  ``None`` resolves the ambient
+            backend (override/env/auto) *once*, inside the shard worker;
+            a non-``None`` value pins the cell so sweeps never inherit
+            ``REPRO_ALIGN_BACKEND``/``REPRO_CHANNEL_BACKEND`` from the
+            environment they happen to run in.
+        channel_parameters: optional mapping of
+            :class:`repro.data.NanoporeParameters` field overrides, so
+            one journal can describe a non-default channel without a
+            bespoke experiment module.
         kill_worker_at_shard: chaos hook — the worker for this shard
             index calls ``os._exit`` on its first attempt (exercises
             worker-death retry; cleared on resume).
@@ -180,6 +193,10 @@ class JobSpec:
     heartbeat_interval_s: float = 0.25
     allow_partial: bool = True
     max_quarantined_shards: int | None = None
+    fault_severity: str = "none"
+    align_backend: str | None = None
+    channel_backend: str | None = None
+    channel_parameters: dict | None = None
     kill_worker_at_shard: int | None = None
     crash_engine_at_shard: int | None = None
     shard_delay_s: float = 0.0
@@ -242,6 +259,35 @@ class JobSpec:
             raise ConfigError(
                 f"shard_delay_s must be >= 0, got {self.shard_delay_s}"
             )
+        # Imported here, not at module top: repro.jobs sits below the
+        # robustness/align/core layers in some import orders.
+        from repro.align.kernels import BACKENDS
+        from repro.core.channel_backend import CHANNEL_BACKENDS
+        from repro.robustness.faults import SEVERITY_LEVELS
+
+        if self.fault_severity not in SEVERITY_LEVELS:
+            raise ConfigError(
+                f"unknown fault_severity {self.fault_severity!r}; "
+                f"choose from {sorted(SEVERITY_LEVELS)}"
+            )
+        if self.align_backend is not None and self.align_backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown align_backend {self.align_backend!r}; "
+                f"choose from {list(BACKENDS)}"
+            )
+        if (
+            self.channel_backend is not None
+            and self.channel_backend not in CHANNEL_BACKENDS
+        ):
+            raise ConfigError(
+                f"unknown channel_backend {self.channel_backend!r}; "
+                f"choose from {list(CHANNEL_BACKENDS)}"
+            )
+        if self.channel_parameters is not None:
+            from repro.data.nanopore import nanopore_parameters
+
+            # Validates field names/values; result discarded here.
+            nanopore_parameters(self.channel_parameters)
 
     @property
     def experiment_name(self) -> str | None:

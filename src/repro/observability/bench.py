@@ -10,6 +10,8 @@ record can never be committed again.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
@@ -38,6 +40,22 @@ def git_sha() -> str:
         return "unknown"
     sha = completed.stdout.strip()
     return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def content_digest(payload: object) -> str:
+    """A stable hex digest of a JSON-serialisable payload.
+
+    The digest is taken over the canonical JSON encoding (sorted keys,
+    no whitespace), so two payloads that are ``==`` after a JSON
+    round-trip always digest identically regardless of dict insertion
+    order.  Scenario sweeps use this to fingerprint specs and cells:
+    a cached cell result is only reused when its recorded digest matches
+    the digest recomputed from the current spec.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def stamp_record(record: dict) -> dict:

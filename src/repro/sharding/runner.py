@@ -26,13 +26,17 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import partial
 
-from repro.align.kernels import align_backend, set_align_backend
+from repro.align.kernels import BACKENDS, set_align_backend
+from repro.align.kernels import align_backend as _ambient_align
 from repro.analysis.error_stats import ErrorStatistics
 from repro.core.alphabet import random_strand
 from repro.core.channel import Channel
+from repro.core.channel_backend import CHANNEL_BACKENDS, set_channel_backend
+from repro.core.channel_backend import channel_backend as _ambient_channel
 from repro.core.errors import ErrorModel
 from repro.core.strand import Cluster, StrandPool
 from repro.exceptions import ConfigError
+from repro.robustness.faults import SEVERITY_LEVELS, FaultInjector
 from repro.metrics.accuracy import AccuracyReport, AccuracyTally
 from repro.observability import counter, span
 from repro.parallel import derive_seed, parallel_map, resolve_workers
@@ -57,7 +61,20 @@ RECONSTRUCTORS: dict[str, type[Reconstructor]] = {
 
 @dataclass(frozen=True)
 class ShardConfig:
-    """Everything a shard worker needs, picklable once per run."""
+    """Everything a shard worker needs, picklable once per run.
+
+    ``backend``/``channel_backend`` are concrete names resolved at plan
+    time; every shard worker installs both as process-local overrides
+    before doing any work, so a worker never consults the ambient
+    ``REPRO_ALIGN_BACKEND``/``REPRO_CHANNEL_BACKEND`` environment — the
+    plan, not the host a shard lands on, decides the backends.
+
+    ``fault_severity`` applies a seeded
+    :class:`repro.robustness.FaultInjector` to each cluster's reads,
+    keyed by ``derive_seed(fault_seed_base, cluster_index)`` so faults
+    — like the channel noise — are a pure function of the cluster
+    index, preserving bit-identity at any shard/worker partitioning.
+    """
 
     model: ErrorModel
     seed: int
@@ -66,6 +83,9 @@ class ShardConfig:
     max_copies: int | None
     algorithms: tuple[str, ...]
     backend: str
+    channel_backend: str = "auto"
+    fault_severity: str = "none"
+    fault_seed_base: int = 0
 
 
 #: One shard's mergeable summary: ``(statistics, tallies, n_reads)``.
@@ -161,6 +181,8 @@ def run_shard(
     """
     shard_index, chunk = item
     set_align_backend(config.backend)
+    set_channel_backend(config.channel_backend)
+    inject_faults = config.fault_severity != "none"
     with span(
         "fullscale.shard", shard=shard_index, clusters=len(chunk)
     ) as shard_span:
@@ -174,6 +196,17 @@ def run_shard(
             )
             channel.rng = random.Random(derive_seed(config.seed, cluster_index))
             cluster = channel.transmit_cluster(reference, coverage)
+            if inject_faults:
+                # One injector per cluster, seeded from the cluster
+                # index: faults never depend on which shard (or attempt)
+                # a cluster runs in.
+                injector = FaultInjector(
+                    config.fault_severity,
+                    seed=derive_seed(config.fault_seed_base, cluster_index),
+                )
+                cluster = Cluster(
+                    cluster.reference, injector.inject_reads(cluster.copies)
+                )
             clusters.append(cluster)
             n_reads += cluster.coverage
         pool = StrandPool(clusters)
@@ -204,6 +237,9 @@ def plan_fullscale(
     algorithms: tuple[str, ...] = ("majority",),
     max_copies: int | None = 4,
     parameters: object = None,
+    fault_severity: str = "none",
+    align_backend: str | None = None,
+    channel_backend: str | None = None,
 ) -> FullScalePlan:
     """Build the deterministic shard decomposition of a full-scale run.
 
@@ -214,8 +250,14 @@ def plan_fullscale(
     merging with :func:`merge_shard_results` reproduces
     :func:`run_fullscale` bit for bit.
 
+    ``align_backend``/``channel_backend`` pin the backends into the plan;
+    ``None`` captures the ambient (override/env/auto) resolution here,
+    once, so shard workers never re-read the environment themselves.
+    ``fault_severity`` turns on per-cluster-seeded fault injection in
+    the shards (see :class:`ShardConfig`).
+
     Raises:
-        ConfigError: for unknown algorithm names.
+        ConfigError: unknown algorithm, backend, or severity names.
     """
     # Imported lazily: repro.data.nanopore imports this package's plan
     # module, so a module-level import here would be circular.
@@ -232,6 +274,21 @@ def plan_fullscale(
                 f"unknown algorithm {name!r}; choose from "
                 f"{sorted(RECONSTRUCTORS)}"
             )
+    if fault_severity not in SEVERITY_LEVELS:
+        raise ConfigError(
+            f"unknown fault_severity {fault_severity!r}; choose from "
+            f"{sorted(SEVERITY_LEVELS)}"
+        )
+    if align_backend is not None and align_backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown align backend {align_backend!r}; choose from "
+            f"{list(BACKENDS)}"
+        )
+    if channel_backend is not None and channel_backend not in CHANNEL_BACKENDS:
+        raise ConfigError(
+            f"unknown channel backend {channel_backend!r}; choose from "
+            f"{list(CHANNEL_BACKENDS)}"
+        )
     if strand_length is None:
         strand_length = PAPER_STRAND_LENGTH
     if mean_coverage is None:
@@ -252,7 +309,16 @@ def plan_fullscale(
         strand_length=strand_length,
         max_copies=max_copies,
         algorithms=tuple(algorithms),
-        backend=align_backend(),
+        backend=(
+            align_backend if align_backend is not None else _ambient_align()
+        ),
+        channel_backend=(
+            channel_backend
+            if channel_backend is not None
+            else _ambient_channel()
+        ),
+        fault_severity=fault_severity,
+        fault_seed_base=derive_seed(seed, -3),
     )
     return FullScalePlan(
         config=config,
@@ -319,6 +385,9 @@ def run_fullscale(
     max_copies: int | None = 4,
     parameters: object = None,
     keep_statistics: bool = False,
+    fault_severity: str = "none",
+    align_backend: str | None = None,
+    channel_backend: str | None = None,
 ) -> FullScaleResult:
     """Run the whole pipeline at (up to) paper scale in bounded memory.
 
@@ -349,9 +418,13 @@ def run_fullscale(
             :class:`~repro.analysis.error_stats.ErrorStatistics` on the
             result (off by default — the tally holds per-position
             histograms the caller usually only needs summarised).
+        fault_severity: named fault-injection severity applied per
+            cluster inside the shards (``"none"`` disables).
+        align_backend / channel_backend: pin the backends for this run;
+            ``None`` captures the ambient resolution at plan time.
 
     Raises:
-        ConfigError: for unknown algorithm names.
+        ConfigError: unknown algorithm, backend, or severity names.
     """
     fullscale_plan = plan_fullscale(
         n_clusters=n_clusters,
@@ -362,6 +435,9 @@ def run_fullscale(
         algorithms=algorithms,
         max_copies=max_copies,
         parameters=parameters,
+        fault_severity=fault_severity,
+        align_backend=align_backend,
+        channel_backend=channel_backend,
     )
     effective_workers = resolve_workers(workers)
     with span(

@@ -1,0 +1,61 @@
+"""Regenerate tests/golden/sweep_cells.json from sweep_small.toml.
+
+Run after an *intentional* physics change::
+
+    PYTHONPATH=src python tests/golden/regen_sweep_cells.py
+
+The golden pins, per cell (keyed by zero-padded cell index), the
+scenario coordinates and the merged result with the partition metadata
+(``n_shards``/``workers``) stripped — those describe how a run was
+executed, not what it computed, and the golden tests assert the
+*computed* numbers are identical across execution strategies.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: Result keys that describe the execution layout, not the measurement.
+PARTITION_KEYS = ("n_shards", "workers")
+
+
+def normalised_cells(sweep_dir) -> dict:
+    """The golden payload for a finished sweep directory."""
+    from repro.scenarios import SweepStore
+
+    cells = {}
+    for record in SweepStore(sweep_dir).cell_records():
+        result = dict(record["result"])
+        for key in PARTITION_KEYS:
+            result.pop(key, None)
+        cells[f"{record['cell_index']:03d}"] = {
+            "scenario": record["scenario"],
+            "complete": record["complete"],
+            "result": result,
+        }
+    return cells
+
+
+def main() -> int:
+    from repro.scenarios import load_sweep_spec, run_sweep
+
+    spec = load_sweep_spec(GOLDEN_DIR / "sweep_small.toml")
+    with tempfile.TemporaryDirectory() as tmp:
+        outcome = run_sweep(spec, pathlib.Path(tmp) / "sweep")
+        if outcome.exit_code != 0:
+            print(f"sweep did not fully succeed (exit {outcome.exit_code})")
+            return 1
+        payload = normalised_cells(outcome.sweep_dir)
+    out = GOLDEN_DIR / "sweep_cells.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(payload)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,3 +169,85 @@ class TestErrorHandling:
     def test_debug_flag_reraises_oserror(self):
         with pytest.raises(OSError):
             main(["--debug", "profile", "/no/such/dataset.txt"])
+
+
+class TestSweepCommand:
+    SPEC = """\
+[sweep]
+name = "cli-sweep"
+seed = 2
+clusters = 6
+
+[axes]
+coverage = [4.0]
+algorithm = ["majority", "bma"]
+"""
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_dry_run_prints_matrix_without_running(
+        self, spec_path, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "out"
+        code = main(
+            ["sweep", "run", str(spec_path), "--out", str(out_dir), "--dry-run"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 cells" in output
+        assert "algorithm=majority" in output
+        assert not out_dir.exists()
+
+    def test_run_status_resume_list(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["sweep", "run", str(spec_path), "--out", str(out_dir)]) == 0
+        run_output = capsys.readouterr().out
+        assert "succeeded" in run_output
+        assert (out_dir / "sweep.json").exists()
+
+        assert main(["sweep", "status", str(out_dir)]) == 0
+        status_output = capsys.readouterr().out
+        assert "2/2 recorded" in status_output
+        assert "reusable" in status_output
+
+        assert main(["sweep", "status", str(out_dir), "--json"]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["recorded"] == 2
+
+        assert main(["sweep", "resume", str(out_dir)]) == 0
+        assert "(reused)" in capsys.readouterr().out
+
+        assert main(["sweep", "list", str(tmp_path)]) == 0
+        assert "cli-sweep" in capsys.readouterr().out
+
+    def test_list_without_sweeps(self, tmp_path, capsys):
+        assert main(["sweep", "list", str(tmp_path)]) == 0
+        assert "no sweeps" in capsys.readouterr().out
+
+    def test_spec_typo_is_positioned_config_error(self, tmp_path, capsys):
+        path = tmp_path / "typo.toml"
+        path.write_text(self.SPEC.replace("coverage =", "coverges ="))
+        code = main(["sweep", "run", str(path), "--out", str(tmp_path / "o")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("dnasim: error: [config]")
+        assert "typo.toml:7:" in err
+        assert "did you mean 'coverage'?" in err
+
+    def test_missing_spec_file_is_config_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "run", "/no/such/spec.toml", "--out", str(tmp_path / "o")]
+        )
+        assert code == 2
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_status_of_non_sweep_dir_is_config_error(self, tmp_path, capsys):
+        code = main(["sweep", "status", str(tmp_path)])
+        assert code == 2
+        assert "not a sweep directory" in capsys.readouterr().err

@@ -555,3 +555,44 @@ class TestDashboardCLI:
         # The dashboard discovers the written outcome as a chaos sweep.
         inputs = collect_run_inputs(tmp_path)
         assert [label for label, _ in inputs.chaos_sweeps] == ["chaos.json"]
+
+
+class TestSweepSection:
+    @pytest.fixture()
+    def sweep_run_dir(self, tmp_path):
+        from repro.scenarios import SweepSpec, run_sweep
+
+        root = tmp_path / "run"
+        spec = SweepSpec(
+            name="dash-sweep",
+            seed=2,
+            n_clusters=6,
+            axes={"coverage": (4.0,), "algorithm": ("majority", "bma")},
+        )
+        run_sweep(spec, root / "sweeps" / "dash")
+        return root
+
+    def test_sweep_block_renders(self, sweep_run_dir, tmp_path):
+        document = build_dashboard_html(sweep_run_dir, tmp_path)
+        assert_well_formed_html(document)
+        assert 'id="sweep"' in document
+        assert "dash-sweep" in document
+        assert "cells declared" in document
+        assert "majority" in document and "bma" in document
+
+    def test_sweep_section_byte_stable(self, sweep_run_dir, tmp_path):
+        first = build_dashboard_html(sweep_run_dir, tmp_path)
+        assert first == build_dashboard_html(sweep_run_dir, tmp_path)
+
+    def test_empty_state_message(self, tmp_path):
+        document = build_dashboard_html(tmp_path, tmp_path)
+        assert "no sweep results found" in document
+
+    def test_orphan_cell_records_get_their_own_block(
+        self, sweep_run_dir, tmp_path
+    ):
+        manifest = sweep_run_dir / "sweeps" / "dash" / "sweep.json"
+        manifest.unlink()
+        document = build_dashboard_html(sweep_run_dir, tmp_path)
+        assert_well_formed_html(document)
+        assert "dash-sweep (records only)" in document

@@ -1,0 +1,170 @@
+"""Golden-file regression for the committed small sweep spec.
+
+``tests/golden/sweep_small.toml`` expands to eight cells (two channels ×
+two reconstructors × two fault severities at coverage 5);
+``tests/golden/sweep_cells.json`` pins every cell's merged result.  The
+tests assert **exact equality** for four execution strategies — serial,
+forced process-pool parallelism, a sharded spec variant, and a sweep
+SIGKILLed mid-run then resumed — because scenario cells are pure
+functions of their spec and the merge is associative (the
+shard-count-invariance contract of DESIGN.md, now at sweep granularity).
+
+Partition metadata (``n_shards``/``workers``) is stripped before
+comparison: it describes how a run executed, not what it computed.
+
+Regenerate after an intentional physics change::
+
+    PYTHONPATH=src python tests/golden/regen_sweep_cells.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.observability.bench import assert_stamped
+from repro.scenarios import SweepStore, load_sweep_spec, resume_sweep, run_sweep
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+SPEC_PATH = GOLDEN_DIR / "sweep_small.toml"
+
+#: Result keys describing execution layout, stripped before comparison.
+PARTITION_KEYS = ("n_shards", "workers")
+
+
+def _golden() -> dict:
+    return json.loads((GOLDEN_DIR / "sweep_cells.json").read_text())
+
+
+def _normalise(payload) -> dict:
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def _results_by_index(sweep_dir) -> dict:
+    """Per-cell normalised results, keyed like the golden file."""
+    cells = {}
+    for record in SweepStore(sweep_dir).cell_records():
+        result = dict(record["result"])
+        for key in PARTITION_KEYS:
+            result.pop(key, None)
+        cells[f"{record['cell_index']:03d}"] = _normalise(result)
+    return cells
+
+
+def _golden_results() -> dict:
+    return {
+        index: _normalise(entry["result"])
+        for index, entry in _golden().items()
+    }
+
+
+def _assert_matches_golden(sweep_dir) -> None:
+    assert _results_by_index(sweep_dir) == _golden_results()
+
+
+class TestSerialMatchesGolden:
+    def test_full_sweep(self, tmp_path):
+        spec = load_sweep_spec(SPEC_PATH)
+        outcome = run_sweep(spec, tmp_path / "sweep")
+        assert outcome.exit_code == 0
+        assert len(outcome.cells) == len(_golden())
+        _assert_matches_golden(tmp_path / "sweep")
+
+    def test_golden_scenarios_match_expansion(self):
+        """The committed golden was generated from *this* spec."""
+        spec = load_sweep_spec(SPEC_PATH)
+        expected = {
+            f"{cell.index:03d}": _normalise(cell.scenario())
+            for cell in spec.expand()
+        }
+        recorded = {
+            index: entry["scenario"] for index, entry in _golden().items()
+        }
+        assert recorded == expected
+
+
+def _variant(base, **axis_overrides):
+    """The golden spec with some axes overridden (e.g. a shard layout)."""
+    return type(base)(
+        name=base.name,
+        seed=base.seed,
+        n_clusters=base.n_clusters,
+        strand_length=base.strand_length,
+        max_copies=base.max_copies,
+        order=base.order,
+        axes={**base.axes, **axis_overrides},
+        channels=base.channels,
+    )
+
+
+class TestShardedVariantMatchesGolden:
+    """The same matrix with every cell split across 2 shards, executed
+    sequentially, computes identical numbers."""
+
+    def test_full_sweep(self, tmp_path):
+        spec = _variant(load_sweep_spec(SPEC_PATH), shards=(2,), workers=(1,))
+        outcome = run_sweep(spec, tmp_path / "sweep")
+        assert outcome.exit_code == 0
+        _assert_matches_golden(tmp_path / "sweep")
+
+
+class TestParallelMatchesGolden:
+    """2 shards dispatched to 2 concurrent worker processes reproduce
+    the goldens exactly — sweep-level process parallelism never changes
+    a number."""
+
+    def test_full_sweep(self, tmp_path):
+        spec = _variant(load_sweep_spec(SPEC_PATH), shards=(2,), workers=(2,))
+        outcome = run_sweep(spec, tmp_path / "sweep")
+        assert outcome.exit_code == 0
+        _assert_matches_golden(tmp_path / "sweep")
+
+
+class TestResumedAfterKillMatchesGolden:
+    """A sweep killed mid-run (``os._exit`` after two cells executed,
+    before the second record lands) resumes to the same bytes."""
+
+    def test_kill_then_resume(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        script = (
+            "from repro.scenarios import load_sweep_spec, run_sweep\n"
+            f"spec = load_sweep_spec({str(SPEC_PATH)!r})\n"
+            f"run_sweep(spec, {str(sweep_dir)!r}, crash_after_cells=2)\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=pathlib.Path(__file__).parent.parent,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 137, completed.stderr
+        # The kill landed between the job journal and the cell record:
+        # at most one record is missing relative to executed cells.
+        recorded = len(SweepStore(sweep_dir).cell_records())
+        assert recorded < len(_golden())
+
+        outcome = resume_sweep(sweep_dir)
+        assert outcome.exit_code == 0
+        # The first cell completed record + journal; it must be reused,
+        # and the killed cell replayed from its journal, not recomputed.
+        assert outcome.reused >= 1
+        _assert_matches_golden(sweep_dir)
+
+
+class TestRecordsConform:
+    """Every record written by a sweep carries a valid provenance stamp."""
+
+    def test_all_records_stamped(self, tmp_path):
+        spec = load_sweep_spec(SPEC_PATH)
+        run_sweep(spec, tmp_path / "sweep")
+        store = SweepStore(tmp_path / "sweep")
+        assert_stamped(store.manifest)
+        records = store.cell_records()
+        assert len(records) == len(_golden())
+        for record in records:
+            assert_stamped(record)

@@ -126,11 +126,44 @@ class TestJobSpec:
             {"heartbeat_interval_s": 0.0},
             {"max_quarantined_shards": -1},
             {"shard_delay_s": -1.0},
+            {"fault_severity": "apocalyptic"},
+            {"align_backend": "bogus-kernel"},
+            {"channel_backend": "bogus-kernel"},
+            {"channel_parameters": {"substition_rate": 0.1}},  # typo'd field
         ],
     )
     def test_validation(self, overrides):
         with pytest.raises(ConfigError):
             _spec(overrides.pop("job_id", "bad"), **overrides)
+
+    def test_scenario_fields_round_trip(self):
+        spec = _spec(
+            "scenario",
+            fault_severity="mild",
+            align_backend="python",
+            channel_backend="python",
+            channel_parameters={"substitution_rate": 0.04},
+        )
+        rebuilt = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert rebuilt == spec
+        assert rebuilt.channel_parameters == {"substitution_rate": 0.04}
+
+    def test_pre_scenario_payloads_still_load(self):
+        """Journals written before the scenario fields existed resume
+        with the no-fault, ambient-backend defaults."""
+        payload = _spec("legacy").to_json()
+        for field in (
+            "fault_severity",
+            "align_backend",
+            "channel_backend",
+            "channel_parameters",
+        ):
+            payload.pop(field, None)
+        spec = JobSpec.from_json(payload)
+        assert spec.fault_severity == "none"
+        assert spec.align_backend is None
+        assert spec.channel_backend is None
+        assert spec.channel_parameters is None
 
     def test_experiment_workload_accepted(self):
         spec = _spec("exp", workload="experiment:table_1_1")
